@@ -1,0 +1,366 @@
+// Command acdbench regenerates the paper's evaluation tables and
+// figures (Tables I-II, Figures 6-7) and the extension studies, at
+// paper scale or scaled down.
+//
+// Usage:
+//
+//	acdbench -experiment table12                 # scaled-down default
+//	acdbench -experiment table12 -full           # exact paper parameters
+//	acdbench -experiment fig6 -particles 100000  # custom overrides
+//	acdbench -experiment all
+//
+// Experiments: table12 (Tables I and II), fig6, fig7, radius, nsweep,
+// meshtorus, primitives, contention, dynamic, threed, clustering,
+// loadbalance, execmodel, metrics, or all. Pass -csvdir to also write
+// machine-readable CSVs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sfcacd/internal/experiments"
+)
+
+// csvDir, when set, receives one CSV file per experiment result.
+var csvDir string
+
+// csvWriter is implemented by every experiment result with a CSV form.
+type csvWriter interface {
+	WriteCSV(io.Writer) error
+}
+
+// emitCSV writes the result's CSV into csvDir (no-op when unset).
+func emitCSV(name string, r csvWriter) error {
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(csvDir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "table12", "experiment to run: table12, fig6, fig7, radius, nsweep, meshtorus, primitives, contention, all")
+		full       = flag.Bool("full", false, "use exact paper-scale parameters (slow)")
+		scale      = flag.Uint("scale", 2, "scale-down steps from paper parameters (each step quarters the input)")
+		particles  = flag.Int("particles", 0, "override particle count")
+		order      = flag.Uint("order", 0, "override spatial resolution order (grid side 2^order)")
+		procOrder  = flag.Uint("procorder", 0, "override processor order (p = 4^procorder)")
+		radius     = flag.Int("radius", 0, "override near-field radius")
+		trials     = flag.Int("trials", 0, "override trial count")
+		seed       = flag.Uint64("seed", 0, "override random seed")
+		csvDirF    = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+	csvDir = *csvDirF
+
+	params := func(paper experiments.Params) experiments.Params {
+		p := paper
+		if !*full {
+			p = paper.Scale(*scale)
+		}
+		if *particles > 0 {
+			p.Particles = *particles
+		}
+		if *order > 0 {
+			p.Order = *order
+		}
+		if *procOrder > 0 {
+			p.ProcOrder = *procOrder
+		}
+		if *radius > 0 {
+			p.Radius = *radius
+		}
+		if *trials > 0 {
+			p.Trials = *trials
+		}
+		if *seed > 0 {
+			p.Seed = *seed
+		}
+		return p
+	}
+
+	runners := map[string]func() error{
+		"table12":    func() error { return runTable12(params(experiments.Table12Paper)) },
+		"fig6":       func() error { return runFig6(params(experiments.Fig6Paper)) },
+		"fig7":       func() error { return runFig7(params(experiments.Fig7Paper)) },
+		"radius":     func() error { return runRadius(params(experiments.Table12Paper)) },
+		"nsweep":     func() error { return runNSweep(params(experiments.Table12Paper)) },
+		"meshtorus":  func() error { return runMeshTorus(params(experiments.Table12Paper)) },
+		"primitives": func() error { return runPrimitives(params(experiments.Table12Paper)) },
+		"contention": func() error { return runContention(params(experiments.Table12Paper)) },
+		"dynamic":    func() error { return runDynamic(params(experiments.Table12Paper)) },
+		"threed":     func() error { return runThreeD(*full) },
+		"clustering": func() error { return runClustering(*full) },
+		"loadbalance": func() error {
+			p := params(experiments.Table12Paper)
+			announce(p)
+			res, err := experiments.RunLoadBalance(p)
+			if err != nil {
+				return err
+			}
+			if err := emitCSV("loadbalance", res); err != nil {
+				return err
+			}
+			return res.Matrix().Render(os.Stdout)
+		},
+		"execmodel": func() error {
+			p := params(experiments.Table12Paper)
+			announce(p)
+			res, err := experiments.RunExecModel(p)
+			if err != nil {
+				return err
+			}
+			if err := emitCSV("execmodel", res); err != nil {
+				return err
+			}
+			return res.Matrix().Render(os.Stdout)
+		},
+		"metrics": func() error {
+			cfg := experiments.MetricsConfig{
+				Params:      params(experiments.Table12Paper),
+				MetricOrder: 7,
+				QuerySide:   8,
+				QueryTrials: 5000,
+			}
+			if *full {
+				cfg.MetricOrder = 9
+			}
+			announce(cfg.Params)
+			res, err := experiments.RunMetrics(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emitCSV("metrics", res); err != nil {
+				return err
+			}
+			return res.Matrix().Render(os.Stdout)
+		},
+	}
+	names := []string{"table12", "fig6", "fig7", "radius", "nsweep", "meshtorus", "primitives", "contention", "dynamic", "threed", "clustering", "loadbalance", "execmodel", "metrics"}
+
+	todo := []string{*experiment}
+	if *experiment == "all" {
+		todo = names
+	}
+	for _, name := range todo {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "acdbench: unknown experiment %q (choose from %v or all)\n", name, names)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "acdbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func announce(p experiments.Params) {
+	fmt.Printf("parameters: n=%d, resolution=%dx%d, p=%d, radius=%d, trials=%d, seed=%d\n\n",
+		p.Particles, 1<<p.Order, 1<<p.Order, p.P(), p.Radius, p.Trials, p.Seed)
+}
+
+func runTable12(p experiments.Params) error {
+	announce(p)
+	results, err := experiments.RunTable12(p)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		if err := emitCSV("table12_"+res.Distribution, res); err != nil {
+			return err
+		}
+		nfi, ffi := res.Matrices()
+		if err := nfi.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := ffi.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runFig6(p experiments.Params) error {
+	announce(p)
+	res, err := experiments.RunFig6(p)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("fig6", res); err != nil {
+		return err
+	}
+	nfi, ffi := res.Matrices()
+	if err := nfi.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return ffi.Render(os.Stdout)
+}
+
+func runFig7(p experiments.Params) error {
+	announce(p)
+	// Sweep processor orders from 4^(ProcOrder-3) up to 4^ProcOrder,
+	// the paper's 1,024..65,536 at full scale.
+	var orders []uint
+	lo := uint(2)
+	if p.ProcOrder > 3 {
+		lo = p.ProcOrder - 3
+	}
+	for o := lo; o <= p.ProcOrder; o++ {
+		orders = append(orders, o)
+	}
+	res, err := experiments.RunFig7(p, orders)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("fig7", res); err != nil {
+		return err
+	}
+	nfi, ffi := res.SeriesTables()
+	if err := nfi.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return ffi.Render(os.Stdout)
+}
+
+func runRadius(p experiments.Params) error {
+	announce(p)
+	res, err := experiments.RunRadiusSweep(p, []int{1, 2, 4, 6, 8})
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("radius", res); err != nil {
+		return err
+	}
+	return res.SeriesTable().Render(os.Stdout)
+}
+
+func runNSweep(p experiments.Params) error {
+	announce(p)
+	sizes := []int{p.Particles / 8, p.Particles / 4, p.Particles / 2, p.Particles}
+	res, err := experiments.RunSizeSweep(p, sizes)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("nsweep", res); err != nil {
+		return err
+	}
+	nfi, ffi := res.SeriesTables()
+	if err := nfi.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return ffi.Render(os.Stdout)
+}
+
+func runMeshTorus(p experiments.Params) error {
+	announce(p)
+	res, err := experiments.RunMeshTorus(p)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("meshtorus", res); err != nil {
+		return err
+	}
+	return res.Matrix().Render(os.Stdout)
+}
+
+func runPrimitives(p experiments.Params) error {
+	fmt.Printf("parameters: p=%d\n\n", p.P())
+	res := experiments.RunPrimitives(p.ProcOrder)
+	mesh, torus := res.Matrices()
+	if err := mesh.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return torus.Render(os.Stdout)
+}
+
+func runContention(p experiments.Params) error {
+	announce(p)
+	res, err := experiments.RunContention(p)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("contention", res); err != nil {
+		return err
+	}
+	return res.Matrix().Render(os.Stdout)
+}
+
+func runDynamic(p experiments.Params) error {
+	announce(p)
+	res, err := experiments.RunDynamic(p, 8)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("dynamic", res); err != nil {
+		return err
+	}
+	static, reorder := res.SeriesTables()
+	if err := static.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return reorder.Render(os.Stdout)
+}
+
+func runClustering(full bool) error {
+	order, trials := uint(8), 2000
+	if full {
+		order, trials = 10, 10000
+	}
+	fmt.Printf("parameters: resolution=%dx%d, trials=%d per query size\n\n", 1<<order, 1<<order, trials)
+	res, err := experiments.RunClustering(order, []uint32{2, 4, 8, 16, 32}, trials, 2013)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("clustering", res); err != nil {
+		return err
+	}
+	return res.SeriesTable().Render(os.Stdout)
+}
+
+func runThreeD(full bool) error {
+	p := experiments.ThreeDDefault
+	if full {
+		p.Particles = 200000
+		p.Order = 7     // 128^3 cells
+		p.ProcOrder = 3 // 512 processors on an 8x8x8 torus
+		p.ANNSOrder = 5 // 32^3 full grid
+	}
+	fmt.Printf("parameters: n=%d, resolution=%d^3, p=%d, radius=%d, trials=%d, seed=%d\n\n",
+		p.Particles, 1<<p.Order, 1<<(3*p.ProcOrder), p.Radius, p.Trials, p.Seed)
+	res, err := experiments.RunThreeD(p)
+	if err != nil {
+		return err
+	}
+	if err := emitCSV("threed", res); err != nil {
+		return err
+	}
+	return res.Matrix().Render(os.Stdout)
+}

@@ -1,0 +1,58 @@
+// Command annsbench regenerates Figure 5: the (generalized) average
+// nearest neighbor stretch of the four curves as the spatial
+// resolution grows.
+//
+// Usage:
+//
+//	annsbench                     # Figure 5(a): radius 1, 2x2..512x512
+//	annsbench -r 6                # Figure 5(b)
+//	annsbench -minorder 3 -maxorder 8 -r 2
+//	annsbench -csv                # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"sfcacd/internal/experiments"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/tablefmt"
+)
+
+func main() {
+	var (
+		minOrder = flag.Uint("minorder", 1, "smallest resolution order")
+		maxOrder = flag.Uint("maxorder", 9, "largest resolution order (512x512 = 9)")
+		radius   = flag.Int("r", 1, "neighborhood radius (1 = classic ANNS)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	res, err := experiments.RunFig5(*minOrder, *maxOrder, *radius)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "annsbench:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		header := append([]string{"side"}, res.Curves...)
+		var rows [][]string
+		for i, o := range res.Orders {
+			row := []string{strconv.Itoa(int(geom.Side(o)))}
+			for c := range res.Curves {
+				row = append(row, strconv.FormatFloat(res.ANNS[c][i], 'f', 6, 64))
+			}
+			rows = append(rows, row)
+		}
+		if err := tablefmt.WriteCSV(os.Stdout, header, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "annsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := res.SeriesTable().Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "annsbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+// Command sfcviz renders the paper's illustrative figures: the curves
+// themselves (Figure 1), the input distributions (Figure 2), and the
+// particle orderings induced by each curve (Figure 3).
+//
+// Usage:
+//
+//	sfcviz -order 4                       # ASCII paths of all curves
+//	sfcviz -curve hilbert -order 5        # one curve
+//	sfcviz -svg out/ -order 5             # write SVG files
+//	sfcviz -distributions                 # ASCII density of the samplers
+//	sfcviz -ordering exponential          # Figure 3: particle orders
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/viz"
+)
+
+func main() {
+	var (
+		order         = flag.Uint("order", 4, "curve order (grid side 2^order)")
+		curveName     = flag.String("curve", "", "curve to render (default: all)")
+		svgDir        = flag.String("svg", "", "write SVG renderings into this directory")
+		distributions = flag.Bool("distributions", false, "render sampler densities (Figure 2)")
+		ordering      = flag.String("ordering", "", "render particle orderings for a distribution (Figure 3)")
+		seed          = flag.Uint64("seed", 2013, "sampling seed")
+	)
+	flag.Parse()
+
+	curves := sfc.Extended()
+	if *curveName != "" {
+		c, err := sfc.ByName(*curveName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfcviz:", err)
+			os.Exit(2)
+		}
+		curves = []sfc.Curve{c}
+	}
+
+	switch {
+	case *distributions:
+		for _, s := range dist.All() {
+			fmt.Printf("%s distribution (%d samples on 64x64):\n", s.Name(), 3000)
+			fmt.Println(viz.DensityMap(s, *seed, 6, 3000))
+		}
+	case *ordering != "":
+		if err := renderOrdering(*ordering, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "sfcviz:", err)
+			os.Exit(1)
+		}
+	case *svgDir != "":
+		for _, c := range curves {
+			path := filepath.Join(*svgDir, fmt.Sprintf("%s_%d.svg", c.Name(), *order))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "sfcviz:", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(path, []byte(viz.SVGPath(c, *order, 16)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "sfcviz:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", path)
+		}
+	default:
+		for _, c := range curves {
+			fmt.Printf("%s, order %d:\n%s\n", c.Name(), *order, viz.ASCIIPath(c, *order))
+		}
+	}
+}
+
+// renderOrdering prints Figure 3: the linear order each curve assigns
+// to a small sample of the named distribution, as a list and as rank
+// maps.
+func renderOrdering(name string, seed uint64) error {
+	sampler, err := dist.ByName(name)
+	if err != nil {
+		return err
+	}
+	const order, n = 4, 12
+	pts, err := dist.SampleUnique(sampler, rng.New(seed), order, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d %s-distributed particles on %dx%d; linear order under each curve:\n\n",
+		n, sampler.Name(), geom.Side(order), geom.Side(order))
+	for _, c := range sfc.Extended() {
+		fmt.Printf("%-9s: %s\n", c.Name(), viz.OrderingList(c, order, pts))
+	}
+	fmt.Println("\nrank maps (y grows upward; '.' = empty cell):")
+	for _, c := range sfc.Extended() {
+		fmt.Printf("\n%s:\n%s", c.Name(), viz.RankMap(c, order, pts))
+	}
+	return nil
+}

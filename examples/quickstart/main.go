@@ -1,0 +1,50 @@
+// Quickstart: evaluate the Average Communicated Distance of every
+// space-filling curve for an FMM-style workload on a torus, and print
+// which curve a practitioner should pick.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sfcacd"
+)
+
+func main() {
+	const (
+		order     = 9 // 512x512 spatial resolution
+		particles = 20000
+		procOrder = 5 // 1,024 processors on a 32x32 torus
+	)
+	// 1. Draw a reproducible particle set.
+	pts, err := sfcacd.SampleUnique(sfcacd.Uniform, sfcacd.NewRand(42), order, particles)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d uniform particles on a %dx%d grid, %d-processor torus\n\n",
+		particles, 1<<order, 1<<order, 1<<(2*procOrder))
+	fmt.Printf("%-9s  %10s  %10s\n", "curve", "NFI ACD", "FFI ACD")
+
+	best, bestVal := "", 0.0
+	for _, curve := range sfcacd.Curves() {
+		// 2. Order the particles along the curve and distribute them
+		//    over the processors (the paper's §IV pipeline).
+		a, err := sfcacd.Assign(pts, curve, order, 1<<(2*procOrder))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// 3. Rank the torus's processors with the same curve.
+		torus := sfcacd.NewTorus(procOrder, curve)
+		// 4. Compute the ACD of the FMM's two communication families.
+		nfi := sfcacd.NFI(a, torus, sfcacd.NFIOptions{Radius: 1})
+		ffi := sfcacd.FFI(a, torus, sfcacd.FFIOptions{}).Total()
+		fmt.Printf("%-9s  %10.3f  %10.3f\n", curve.Name(), nfi.ACD(), ffi.ACD())
+		if total := nfi.ACD() + ffi.ACD(); best == "" || total < bestVal {
+			best, bestVal = curve.Name(), total
+		}
+	}
+	fmt.Printf("\nrecommendation: order particles and processors with the %s curve\n", best)
+}

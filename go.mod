@@ -1,0 +1,3 @@
+module sfcacd
+
+go 1.22

@@ -1,0 +1,209 @@
+// Package acd implements the paper's primary contribution: the Average
+// Communicated Distance metric (Definition 1) and the particle-to-
+// processor assignment pipeline it is evaluated over.
+//
+// Given a problem instance, the ACD is the average shortest-path hop
+// distance over every pairwise communication the application performs.
+// The package provides the accumulator that tallies communication
+// events and the Assignment that realizes §IV steps 1–4: order the
+// particles with a particle-order SFC, partition them into p
+// consecutive chunks, and distribute chunk i to processor i (whose
+// physical location is fixed by the topology's processor-order SFC).
+package acd
+
+import (
+	"fmt"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/partition"
+	"sfcacd/internal/sfc"
+)
+
+// Accumulator tallies communication events and their hop distances.
+// The zero value is ready to use.
+type Accumulator struct {
+	// Sum is the total hop distance over all recorded events.
+	Sum uint64
+	// Count is the number of recorded communication events, including
+	// zero-hop (same processor) events per §IV step 6.
+	Count uint64
+}
+
+// Add records one communication of the given hop distance.
+func (a *Accumulator) Add(hops int) {
+	a.Sum += uint64(hops)
+	a.Count++
+}
+
+// AddN records n communications of the same hop distance.
+func (a *Accumulator) AddN(hops, n int) {
+	a.Sum += uint64(hops) * uint64(n)
+	a.Count += uint64(n)
+}
+
+// Merge folds another accumulator into this one.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.Sum += b.Sum
+	a.Count += b.Count
+}
+
+// ACD returns the Average Communicated Distance: Sum/Count. It is 0
+// for an empty accumulator.
+func (a Accumulator) ACD() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.Sum) / float64(a.Count)
+}
+
+// String formats the accumulator as "acd=… (events=…)".
+func (a Accumulator) String() string {
+	return fmt.Sprintf("acd=%.3f (events=%d)", a.ACD(), a.Count)
+}
+
+// Assignment is the result of distributing particles onto processors:
+// steps 1–4 of the paper's §IV algorithm.
+type Assignment struct {
+	// Order is the spatial resolution order k (grid side 2^k).
+	Order uint
+	// P is the number of processors.
+	P int
+	// Particles holds the particle cells in particle-order SFC order
+	// (i.e. already sorted along the curve).
+	Particles []geom.Point
+	// Ranks[i] is the processor rank owning Particles[i]. Ranks are
+	// monotonically non-decreasing.
+	Ranks []int32
+	// side caches the grid side.
+	side uint32
+	// cellRank maps an occupied cell to the rank owning its particle;
+	// dense array when the grid is small enough, sparse map otherwise.
+	denseRank  []int32
+	sparseRank map[uint64]int32
+}
+
+// denseLimit is the largest cell count for which the cell->rank lookup
+// uses a dense array (4096x4096 = 64 MiB of int32).
+const denseLimit = 1 << 24
+
+// Assign orders the given particles along the particle-order curve,
+// partitions them into p balanced consecutive chunks, and assigns
+// chunk i to processor rank i. Duplicate cells are not allowed (the
+// paper assumes at most one particle per finest-resolution cell).
+func Assign(particles []geom.Point, curve sfc.Curve, order uint, p int) (*Assignment, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("acd: p = %d must be positive", p)
+	}
+	if len(particles) == 0 {
+		return nil, fmt.Errorf("acd: no particles")
+	}
+	perm := sfc.SortPoints(curve, order, particles)
+	a := &Assignment{
+		Order:     order,
+		P:         p,
+		Particles: make([]geom.Point, len(particles)),
+		Ranks:     make([]int32, len(particles)),
+		side:      geom.Side(order),
+	}
+	n := len(particles)
+	if geom.Cells(order) <= denseLimit {
+		a.denseRank = make([]int32, geom.Cells(order))
+		for i := range a.denseRank {
+			a.denseRank[i] = -1
+		}
+	} else {
+		a.sparseRank = make(map[uint64]int32, n)
+	}
+	prevIdx := uint64(0)
+	for i, src := range perm {
+		pt := particles[src]
+		idx := curve.Index(order, pt)
+		if i > 0 && idx == prevIdx {
+			return nil, fmt.Errorf("acd: duplicate particle cell %v", pt)
+		}
+		prevIdx = idx
+		rank := int32(partition.ChunkOf(i, n, p))
+		a.Particles[i] = pt
+		a.Ranks[i] = rank
+		id := geom.CellID(pt, a.side)
+		if a.denseRank != nil {
+			a.denseRank[id] = rank
+		} else {
+			a.sparseRank[id] = rank
+		}
+	}
+	return a, nil
+}
+
+// FromOwners builds an Assignment from an explicit particle-to-rank
+// ownership (particles need not be curve-sorted and ranks need not be
+// monotone). This supports dynamic studies where particles move
+// between timesteps while their owning processors stay fixed. The
+// far-field model remains well defined: cell representatives are
+// minimum ranks regardless of ordering.
+func FromOwners(particles []geom.Point, ranks []int32, order uint, p int) (*Assignment, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("acd: p = %d must be positive", p)
+	}
+	if len(particles) == 0 {
+		return nil, fmt.Errorf("acd: no particles")
+	}
+	if len(particles) != len(ranks) {
+		return nil, fmt.Errorf("acd: %d particles for %d ranks", len(particles), len(ranks))
+	}
+	a := &Assignment{
+		Order:     order,
+		P:         p,
+		Particles: append([]geom.Point(nil), particles...),
+		Ranks:     append([]int32(nil), ranks...),
+		side:      geom.Side(order),
+	}
+	if geom.Cells(order) <= denseLimit {
+		a.denseRank = make([]int32, geom.Cells(order))
+		for i := range a.denseRank {
+			a.denseRank[i] = -1
+		}
+	} else {
+		a.sparseRank = make(map[uint64]int32, len(particles))
+	}
+	for i, pt := range particles {
+		if ranks[i] < 0 || int(ranks[i]) >= p {
+			return nil, fmt.Errorf("acd: rank %d out of range [0,%d)", ranks[i], p)
+		}
+		id := geom.CellID(pt, a.side)
+		if a.RankAt(pt) != -1 {
+			return nil, fmt.Errorf("acd: duplicate particle cell %v", pt)
+		}
+		if a.denseRank != nil {
+			a.denseRank[id] = ranks[i]
+		} else {
+			a.sparseRank[id] = ranks[i]
+		}
+	}
+	return a, nil
+}
+
+// Side returns the grid side 2^Order.
+func (a *Assignment) Side() uint32 { return a.side }
+
+// N returns the particle count.
+func (a *Assignment) N() int { return len(a.Particles) }
+
+// RankAt returns the rank owning the particle in the given cell, or -1
+// if the cell is empty.
+func (a *Assignment) RankAt(p geom.Point) int32 {
+	id := geom.CellID(p, a.side)
+	if a.denseRank != nil {
+		return a.denseRank[id]
+	}
+	if r, ok := a.sparseRank[id]; ok {
+		return r
+	}
+	return -1
+}
+
+// ChunkBounds returns the half-open range of ordered particle indices
+// owned by rank r.
+func (a *Assignment) ChunkBounds(r int) (lo, hi int) {
+	return partition.Start(r, a.N(), a.P), partition.End(r, a.N(), a.P)
+}

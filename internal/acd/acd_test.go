@@ -1,0 +1,280 @@
+package acd
+
+import (
+	"testing"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+)
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.ACD() != 0 {
+		t.Error("empty accumulator ACD != 0")
+	}
+	a.Add(3)
+	a.Add(0) // zero-hop events count
+	a.Add(5)
+	if a.Sum != 8 || a.Count != 3 {
+		t.Fatalf("sum=%d count=%d", a.Sum, a.Count)
+	}
+	if got := a.ACD(); got != 8.0/3 {
+		t.Errorf("ACD = %f", got)
+	}
+	a.AddN(2, 4)
+	if a.Sum != 16 || a.Count != 7 {
+		t.Fatalf("after AddN: sum=%d count=%d", a.Sum, a.Count)
+	}
+	var b Accumulator
+	b.Add(10)
+	a.Merge(b)
+	if a.Sum != 26 || a.Count != 8 {
+		t.Fatalf("after Merge: sum=%d count=%d", a.Sum, a.Count)
+	}
+	if a.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func fullGrid(order uint) []geom.Point {
+	side := geom.Side(order)
+	pts := make([]geom.Point, 0, side*side)
+	for y := uint32(0); y < side; y++ {
+		for x := uint32(0); x < side; x++ {
+			pts = append(pts, geom.Pt(x, y))
+		}
+	}
+	return pts
+}
+
+func TestAssignOrdersAlongCurve(t *testing.T) {
+	const order = 3
+	pts := fullGrid(order)
+	for _, c := range sfc.Extended() {
+		a, err := Assign(pts, c, order, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i := 1; i < a.N(); i++ {
+			if c.Index(order, a.Particles[i-1]) >= c.Index(order, a.Particles[i]) {
+				t.Fatalf("%s: particles not in curve order at %d", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestAssignRanksMonotoneBalanced(t *testing.T) {
+	const order = 4
+	r := rng.New(1)
+	pts, err := dist.SampleUnique(dist.Uniform, r, order, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(pts, sfc.Hilbert, order, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int32]int)
+	for i, rk := range a.Ranks {
+		if i > 0 && rk < a.Ranks[i-1] {
+			t.Fatalf("ranks not monotone at %d", i)
+		}
+		counts[rk]++
+	}
+	min, max := 1<<30, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("chunk sizes range [%d,%d]", min, max)
+	}
+}
+
+func TestAssignRankAt(t *testing.T) {
+	const order = 4
+	r := rng.New(2)
+	pts, err := dist.SampleUnique(dist.Normal, r, order, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(pts, sfc.Morton, order, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range a.Particles {
+		if got := a.RankAt(p); got != a.Ranks[i] {
+			t.Fatalf("RankAt(%v) = %d, want %d", p, got, a.Ranks[i])
+		}
+	}
+	// An unoccupied cell must report -1.
+	occupied := make(map[geom.Point]bool)
+	for _, p := range pts {
+		occupied[p] = true
+	}
+	side := geom.Side(order)
+	for y := uint32(0); y < side; y++ {
+		for x := uint32(0); x < side; x++ {
+			p := geom.Pt(x, y)
+			if !occupied[p] && a.RankAt(p) != -1 {
+				t.Fatalf("empty cell %v has rank %d", p, a.RankAt(p))
+			}
+		}
+	}
+}
+
+func TestAssignSparseFallback(t *testing.T) {
+	// Order 13 (8192x8192 = 64M cells) exceeds the dense limit; the
+	// sparse map path must behave identically.
+	const order = 13
+	r := rng.New(3)
+	pts, err := dist.SampleUnique(dist.Uniform, r, order, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(pts, sfc.Hilbert, order, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.denseRank != nil {
+		t.Fatal("expected sparse representation at order 13")
+	}
+	for i, p := range a.Particles {
+		if got := a.RankAt(p); got != a.Ranks[i] {
+			t.Fatalf("sparse RankAt(%v) = %d, want %d", p, got, a.Ranks[i])
+		}
+	}
+	if a.RankAt(geom.Pt(0, 0)) != -1 {
+		// (0,0) is almost surely unoccupied among 50 of 64M cells; if
+		// it is occupied the check above already covered it.
+		for _, p := range pts {
+			if p == geom.Pt(0, 0) {
+				return
+			}
+		}
+		t.Fatal("empty cell lookup on sparse path did not return -1")
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0)}
+	if _, err := Assign(pts, sfc.Hilbert, 2, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := Assign(nil, sfc.Hilbert, 2, 4); err == nil {
+		t.Error("empty particles accepted")
+	}
+	dup := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1)}
+	if _, err := Assign(dup, sfc.Hilbert, 2, 2); err == nil {
+		t.Error("duplicate cells accepted")
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	pts := fullGrid(2) // 16 particles
+	a, err := Assign(pts, sfc.Hilbert, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		lo, hi := a.ChunkBounds(r)
+		if hi-lo != 4 {
+			t.Fatalf("chunk %d size %d", r, hi-lo)
+		}
+		for i := lo; i < hi; i++ {
+			if int(a.Ranks[i]) != r {
+				t.Fatalf("particle %d in bounds of %d has rank %d", i, r, a.Ranks[i])
+			}
+		}
+	}
+}
+
+func TestAssignMoreProcsThanParticles(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(3, 3), geom.Pt(1, 2)}
+	a, err := Assign(pts, sfc.Hilbert, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P != 16 || a.N() != 3 {
+		t.Fatalf("P=%d N=%d", a.P, a.N())
+	}
+	for i := 1; i < a.N(); i++ {
+		if a.Ranks[i] <= a.Ranks[i-1] {
+			t.Fatal("with p > n, ranks should be strictly increasing")
+		}
+	}
+}
+
+func TestFromOwners(t *testing.T) {
+	pts := []geom.Point{geom.Pt(3, 3), geom.Pt(0, 0), geom.Pt(1, 2)}
+	ranks := []int32{2, 0, 2} // non-monotone, duplicated rank
+	a, err := FromOwners(pts, ranks, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if a.RankAt(p) != ranks[i] {
+			t.Fatalf("RankAt(%v) = %d, want %d", p, a.RankAt(p), ranks[i])
+		}
+	}
+	if a.RankAt(geom.Pt(2, 2)) != -1 {
+		t.Error("empty cell not -1")
+	}
+	// Errors.
+	if _, err := FromOwners(pts, ranks[:2], 2, 4); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FromOwners(pts, []int32{0, 0, 4}, 2, 4); err == nil {
+		t.Error("rank out of range accepted")
+	}
+	if _, err := FromOwners(nil, nil, 2, 4); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := FromOwners(pts, ranks, 2, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	dup := []geom.Point{geom.Pt(1, 1), geom.Pt(1, 1)}
+	if _, err := FromOwners(dup, []int32{0, 1}, 2, 4); err == nil {
+		t.Error("duplicate cells accepted")
+	}
+}
+
+func TestFromOwnersMatchesAssign(t *testing.T) {
+	// Feeding Assign's own output through FromOwners reproduces it.
+	const order = 4
+	r := rng.New(21)
+	pts, err := dist.SampleUnique(dist.Uniform, r, order, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(pts, sfc.Hilbert, order, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromOwners(a.Particles, a.Ranks, order, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if a.RankAt(p) != b.RankAt(p) {
+			t.Fatalf("RankAt(%v) differs: %d vs %d", p, a.RankAt(p), b.RankAt(p))
+		}
+	}
+}
+
+func TestSideAndN(t *testing.T) {
+	pts := fullGrid(3)
+	a, err := Assign(pts, sfc.Gray, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Side() != 8 || a.N() != 64 {
+		t.Fatalf("Side=%d N=%d", a.Side(), a.N())
+	}
+}

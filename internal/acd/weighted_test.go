@@ -1,0 +1,62 @@
+package acd
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWeightedAccumulator(t *testing.T) {
+	var a WeightedAccumulator
+	if a.ACD() != 0 {
+		t.Error("empty weighted ACD != 0")
+	}
+	a.Add(2, 100) // 100 bytes over 2 hops
+	a.Add(10, 1)  // 1 byte over 10 hops
+	want := (2.0*100 + 10.0*1) / 101
+	if math.Abs(a.ACD()-want) > 1e-12 {
+		t.Errorf("weighted ACD = %f, want %f", a.ACD(), want)
+	}
+	if a.Events != 2 || a.Weight != 101 {
+		t.Errorf("events=%d weight=%f", a.Events, a.Weight)
+	}
+	var b WeightedAccumulator
+	b.Add(1, 9)
+	a.Merge(b)
+	if a.Events != 3 || a.Weight != 110 {
+		t.Errorf("after merge: %+v", a)
+	}
+	if !strings.Contains(a.String(), "weighted acd") {
+		t.Error("String missing label")
+	}
+}
+
+func TestFromUniformMatchesPlainACD(t *testing.T) {
+	var acc Accumulator
+	acc.Add(3)
+	acc.Add(5)
+	w := FromUniform(acc, 64)
+	if math.Abs(w.ACD()-acc.ACD()) > 1e-12 {
+		t.Errorf("uniform weighting changed ACD: %f vs %f", w.ACD(), acc.ACD())
+	}
+	if w.Events != 2 || w.Weight != 128 {
+		t.Errorf("converted %+v", w)
+	}
+}
+
+func TestCombineShiftsTowardHeavyPhase(t *testing.T) {
+	// NFI: many short messages; FFI: few long ones. The combined
+	// volume-weighted ACD must sit between the two and move toward the
+	// FFI value as expansion size grows.
+	var nfi, ffi Accumulator
+	nfi.AddN(1, 1000) // 1000 events at distance 1
+	ffi.AddN(10, 10)  // 10 events at distance 10
+	small := Combine(FromUniform(nfi, 16), FromUniform(ffi, 16))
+	big := Combine(FromUniform(nfi, 16), FromUniform(ffi, 4096))
+	if !(small.ACD() < big.ACD()) {
+		t.Fatalf("volume weighting had no effect: %f vs %f", small.ACD(), big.ACD())
+	}
+	if big.ACD() <= nfi.ACD() || big.ACD() >= ffi.ACD() {
+		t.Fatalf("combined ACD %f outside [%f, %f]", big.ACD(), nfi.ACD(), ffi.ACD())
+	}
+}

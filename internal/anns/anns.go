@@ -1,0 +1,167 @@
+// Package anns implements the Average Nearest Neighbor Stretch metric
+// of Xu and Tirthapura (IPDPS 2012) and the paper's generalization of
+// it to larger neighborhood radii (§V).
+//
+// For a curve f over the 2^k x 2^k grid, the stretch of a spatial pair
+// (p, q) is |f(p) - f(q)| / d(p, q): the multiplicative increase in
+// distance as the pair is mapped into the linear order. ANNS averages
+// the stretch over all pairs at Manhattan distance exactly 1; the
+// radius-r generalization averages over all pairs within Manhattan
+// distance r. The metric is application- and topology-independent.
+//
+// As the paper notes (§V), ANNS coincides with the near-field ACD when
+// every cell of the resolution holds a particle, each particle lives
+// on its own processor, and the processors form a bus in curve order.
+package anns
+
+import (
+	"runtime"
+	"sync"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/sfc"
+)
+
+// Ball selects the neighborhood shape for the generalized stretch.
+type Ball uint8
+
+const (
+	// ManhattanBall is the Xu-Tirthapura neighborhood ("points that are
+	// separated by a Manhattan distance of 1") — the default.
+	ManhattanBall Ball = iota
+	// ChebyshevBall is the edge/corner (L∞) neighborhood, matching the
+	// FMM near-field shape.
+	ChebyshevBall
+)
+
+// geomMetric maps the ball to the shared geometry metric.
+func (b Ball) geomMetric() geom.Metric {
+	if b == ChebyshevBall {
+		return geom.MetricChebyshev
+	}
+	return geom.MetricManhattan
+}
+
+// Options configures the stretch computation.
+type Options struct {
+	// Radius is the neighborhood radius (default 1 = classic ANNS).
+	Radius int
+	// Ball selects the neighborhood shape (default ManhattanBall).
+	Ball Ball
+	// Workers caps the worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o *Options) normalize() {
+	if o.Radius == 0 {
+		o.Radius = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Result carries the averaged stretch and the pair count it averages.
+type Result struct {
+	// Mean is the average stretch over all counted pairs.
+	Mean float64
+	// Pairs is the number of unordered pairs counted.
+	Pairs uint64
+}
+
+// Stretch computes the (generalized) average nearest neighbor stretch
+// of a curve at the given resolution order. Every unordered pair of
+// grid points within the configured radius is counted exactly once.
+func Stretch(c sfc.Curve, order uint, opts Options) Result {
+	opts.normalize()
+	metric := opts.Ball.geomMetric()
+	side := geom.Side(order)
+	// Precompute the linear index of every cell.
+	idx := make([]uint64, geom.Cells(order))
+	for y := uint32(0); y < side; y++ {
+		for x := uint32(0); x < side; x++ {
+			p := geom.Pt(x, y)
+			idx[geom.CellID(p, side)] = c.Index(order, p)
+		}
+	}
+	workers := opts.Workers
+	if workers > int(side) {
+		workers = int(side)
+	}
+	stripe := (int(side) + workers - 1) / workers
+	type partial struct {
+		sum   float64
+		pairs uint64
+	}
+	results := make(chan partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		yLo := uint32(w * stripe)
+		yHi := yLo + uint32(stripe)
+		if yHi > side {
+			yHi = side
+		}
+		if yLo >= yHi {
+			continue
+		}
+		wg.Add(1)
+		go func(yLo, yHi uint32) {
+			defer wg.Done()
+			var local partial
+			for y := yLo; y < yHi; y++ {
+				for x := uint32(0); x < side; x++ {
+					p := geom.Pt(x, y)
+					pi := idx[geom.CellID(p, side)]
+					geom.VisitNeighborhood(p, opts.Radius, metric, side, func(q geom.Point) {
+						// Count each unordered pair once: only the
+						// lexicographically later endpoint tallies it.
+						if q.Y > p.Y || (q.Y == p.Y && q.X > p.X) {
+							return
+						}
+						qi := idx[geom.CellID(q, side)]
+						var gap uint64
+						if pi > qi {
+							gap = pi - qi
+						} else {
+							gap = qi - pi
+						}
+						local.sum += float64(gap) / float64(metric.Dist(p, q))
+						local.pairs++
+					})
+				}
+			}
+			results <- local
+		}(yLo, yHi)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	var sum float64
+	var pairs uint64
+	for r := range results {
+		sum += r.sum
+		pairs += r.pairs
+	}
+	if pairs == 0 {
+		return Result{}
+	}
+	return Result{Mean: sum / float64(pairs), Pairs: pairs}
+}
+
+// NearestNeighborPairs returns the number of unordered Manhattan-
+// distance-1 pairs on a side x side grid: 2*side*(side-1). Used to
+// validate pair counting.
+func NearestNeighborPairs(side uint32) uint64 {
+	return 2 * uint64(side) * uint64(side-1)
+}
+
+// RowMajorExact returns the exact classic ANNS (r=1, Manhattan) of the
+// row-major curve on a 2^order grid: vertical neighbor pairs stretch 1,
+// horizontal pairs stretch 2^order, in equal numbers — the closed form
+// (side+1)/2 that Xu and Tirthapura's analysis yields. Used as an
+// analytic cross-check of the empirical machinery.
+func RowMajorExact(order uint) float64 {
+	side := float64(geom.Side(order))
+	return (side + 1) / 2
+}

@@ -1,0 +1,75 @@
+package anns
+
+import (
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+)
+
+// This file adds the companion metrics from Xu and Tirthapura's IPDPS
+// 2012 paper that the reproduced paper cites alongside ANNS: the
+// maximum nearest neighbor stretch (the worst adjacent pair) and the
+// all-pairs stretch (proximity preservation between arbitrary pairs,
+// estimated by sampling).
+
+// MaxStretch returns the maximum stretch over all spatial pairs within
+// the configured radius: the worst-case counterpart of Stretch.
+func MaxStretch(c sfc.Curve, order uint, opts Options) float64 {
+	opts.normalize()
+	metric := opts.Ball.geomMetric()
+	side := geom.Side(order)
+	var worst float64
+	for y := uint32(0); y < side; y++ {
+		for x := uint32(0); x < side; x++ {
+			p := geom.Pt(x, y)
+			pi := c.Index(order, p)
+			geom.VisitNeighborhood(p, opts.Radius, metric, side, func(q geom.Point) {
+				if q.Y > p.Y || (q.Y == p.Y && q.X > p.X) {
+					return
+				}
+				qi := c.Index(order, q)
+				gap := pi - qi
+				if qi > pi {
+					gap = qi - pi
+				}
+				if s := float64(gap) / float64(metric.Dist(p, q)); s > worst {
+					worst = s
+				}
+			})
+		}
+	}
+	return worst
+}
+
+// AllPairsStretch estimates the mean stretch over uniformly random
+// point pairs (not just neighbors) with the given number of samples —
+// the "all pairs stretch" of Xu and Tirthapura, which sits between
+// ANNS and the worst case as "an intermediate measure of SFC
+// performance" (the reproduced paper's phrase for its own radius
+// generalization).
+func AllPairsStretch(c sfc.Curve, order uint, samples int, r *rng.Rand) Result {
+	if samples < 1 {
+		panic("anns: need at least one sample")
+	}
+	side := geom.Side(order)
+	var sum float64
+	var pairs uint64
+	for i := 0; i < samples; i++ {
+		p := geom.Pt(r.Uint32n(side), r.Uint32n(side))
+		q := geom.Pt(r.Uint32n(side), r.Uint32n(side))
+		if p == q {
+			continue
+		}
+		pi, qi := c.Index(order, p), c.Index(order, q)
+		gap := pi - qi
+		if qi > pi {
+			gap = qi - pi
+		}
+		sum += float64(gap) / float64(geom.Manhattan(p, q))
+		pairs++
+	}
+	if pairs == 0 {
+		return Result{}
+	}
+	return Result{Mean: sum / float64(pairs), Pairs: pairs}
+}

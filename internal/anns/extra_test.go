@@ -1,0 +1,78 @@
+package anns
+
+import (
+	"testing"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+)
+
+func TestMaxStretchBoundsMean(t *testing.T) {
+	for _, c := range sfc.All() {
+		for order := uint(2); order <= 5; order++ {
+			mean := Stretch(c, order, Options{Radius: 1}).Mean
+			max := MaxStretch(c, order, Options{Radius: 1})
+			if max < mean {
+				t.Errorf("%s order %d: max %f < mean %f", c.Name(), order, max, mean)
+			}
+		}
+	}
+}
+
+func TestMaxStretchRowMajorExact(t *testing.T) {
+	// Row-major worst adjacent pair: horizontal neighbors are exactly
+	// side apart in the order.
+	for order := uint(1); order <= 6; order++ {
+		want := float64(geom.Side(order))
+		if got := MaxStretch(sfc.RowMajor, order, Options{Radius: 1}); got != want {
+			t.Errorf("order %d: rowmajor max stretch %f, want %f", order, got, want)
+		}
+	}
+}
+
+func TestMaxStretchHilbertWorseThanRowMajor(t *testing.T) {
+	// The worst Hilbert discontinuity (across the center line) exceeds
+	// the row scan's uniform side-length jumps at larger orders —
+	// Hilbert's loss under worst-case stretch is even starker than
+	// under the mean.
+	const order = 6
+	h := MaxStretch(sfc.Hilbert, order, Options{Radius: 1})
+	r := MaxStretch(sfc.RowMajor, order, Options{Radius: 1})
+	if h <= r {
+		t.Errorf("hilbert max stretch %f <= rowmajor %f", h, r)
+	}
+}
+
+func TestAllPairsStretchDeterministic(t *testing.T) {
+	a := AllPairsStretch(sfc.Hilbert, 6, 5000, rng.New(1))
+	b := AllPairsStretch(sfc.Hilbert, 6, 5000, rng.New(1))
+	if a != b {
+		t.Fatal("sampling not deterministic")
+	}
+	if a.Pairs == 0 || a.Mean <= 0 {
+		t.Fatalf("degenerate result %+v", a)
+	}
+}
+
+func TestAllPairsStretchScale(t *testing.T) {
+	// All-pairs stretch for any curve at order k is O(side): random
+	// pairs at Manhattan distance ~side map to index gaps ~side^2.
+	const order = 6
+	side := float64(geom.Side(order))
+	for _, c := range sfc.All() {
+		res := AllPairsStretch(c, order, 20000, rng.New(7))
+		if res.Mean < side/8 || res.Mean > side*8 {
+			t.Errorf("%s: all-pairs stretch %f far from Theta(side=%f)", c.Name(), res.Mean, side)
+		}
+	}
+}
+
+func TestAllPairsStretchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("samples=0 accepted")
+		}
+	}()
+	AllPairsStretch(sfc.Hilbert, 4, 0, rng.New(1))
+}

@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"sfcacd/internal/geom3"
+	"sfcacd/internal/rng"
+)
+
+func TestAll3HasThree(t *testing.T) {
+	if len(All3()) != 3 {
+		t.Fatalf("All3() = %d samplers", len(All3()))
+	}
+	names := map[string]bool{}
+	for _, s := range All3() {
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"uniform", "normal", "exponential"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestSamples3InBounds(t *testing.T) {
+	r := rng.New(1)
+	const order = 5
+	side := geom3.Side(order)
+	for _, s := range All3() {
+		for i := 0; i < 10000; i++ {
+			p := s.Sample3(r, order)
+			if p.X >= side || p.Y >= side || p.Z >= side {
+				t.Fatalf("%s: %v outside cube", s.Name(), p)
+			}
+		}
+	}
+}
+
+func TestNormal3CentersOnCube(t *testing.T) {
+	r := rng.New(2)
+	const order = 7 // 128^3
+	var sx, sy, sz float64
+	const n = 30000
+	for i := 0; i < n; i++ {
+		p := Normal3.Sample3(r, order)
+		sx += float64(p.X)
+		sy += float64(p.Y)
+		sz += float64(p.Z)
+	}
+	mid := float64(geom3.Side(order)) / 2
+	for _, mean := range []float64{sx / n, sy / n, sz / n} {
+		if math.Abs(mean-mid) > 2 {
+			t.Errorf("normal3 mean %f, want ~%f", mean, mid)
+		}
+	}
+}
+
+func TestExponential3SkewsToCornerOctant(t *testing.T) {
+	r := rng.New(3)
+	const order = 7
+	half := geom3.Side(order) / 2
+	inCorner := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := Exponential3.Sample3(r, order)
+		if p.X < half && p.Y < half && p.Z < half {
+			inCorner++
+		}
+	}
+	if frac := float64(inCorner) / n; frac < 0.85 {
+		t.Errorf("only %.2f of exponential3 mass in corner octant", frac)
+	}
+}
+
+func TestSampleUnique3Distinct(t *testing.T) {
+	r := rng.New(4)
+	const order = 4 // 4096 cells
+	for _, s := range All3() {
+		pts, err := SampleUnique3(s, r, order, 500)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		seen := make(map[geom3.Point3]bool)
+		for _, p := range pts {
+			if seen[p] {
+				t.Fatalf("%s: duplicate %v", s.Name(), p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestSampleUnique3TooMany(t *testing.T) {
+	if _, err := SampleUnique3(Uniform3, rng.New(5), 1, 9); err == nil {
+		t.Fatal("9 particles in 8 cells accepted")
+	}
+}
+
+func TestSampleUnique3Deterministic(t *testing.T) {
+	a, _ := SampleUnique3(Normal3, rng.New(6), 5, 300)
+	b, _ := SampleUnique3(Normal3, rng.New(6), 5, 300)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

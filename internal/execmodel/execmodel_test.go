@@ -1,0 +1,211 @@
+package execmodel
+
+import (
+	"math"
+	"testing"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/topology"
+)
+
+func TestTallyBasics(t *testing.T) {
+	ta := NewTally(3)
+	ta.Message(0, 2)
+	ta.Message(0, 0) // zero-hop: free
+	ta.Message(1, 5)
+	ta.AddWork(2, 7)
+	if ta.Sends[0] != 1 || ta.Hops[0] != 2 {
+		t.Fatalf("rank 0 tallies %d/%d", ta.Sends[0], ta.Hops[0])
+	}
+	if ta.Sends[1] != 1 || ta.Hops[1] != 5 || ta.Work[2] != 7 {
+		t.Fatalf("tallies %+v", ta)
+	}
+	ms, err := ta.Makespan(CostParams{Alpha: 1, Beta: 1, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1: 1 + 5 = 6; rank 2: 7.
+	if ms != 7 {
+		t.Fatalf("makespan %f, want 7", ms)
+	}
+	tot, err := ta.TotalCost(CostParams{Alpha: 1, Beta: 1, Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot != 1+2+1+5+7 {
+		t.Fatalf("total %f", tot)
+	}
+}
+
+func TestCostParamsValidation(t *testing.T) {
+	ta := NewTally(1)
+	if _, err := ta.Makespan(CostParams{Alpha: -1}); err == nil {
+		t.Error("negative alpha accepted")
+	}
+	if _, err := ta.TotalCost(CostParams{Beta: -1}); err == nil {
+		t.Error("negative beta accepted")
+	}
+	if err := DefaultCost.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectNFIConsistentWithACD(t *testing.T) {
+	// Total hops in the tally equal the ACD accumulator's Sum; work
+	// units equal its Count.
+	const order = 6
+	pts, err := dist.SampleUnique(dist.Uniform, rng.New(1), order, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := acd.Assign(pts, sfc.Hilbert, order, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.NewTorus(3, sfc.Hilbert)
+	opts := fmmmodel.NFIOptions{Radius: 1, Metric: geom.MetricChebyshev}
+	tally := CollectNFI(a, topo, opts)
+	acc := fmmmodel.NFI(a, topo, opts)
+	var hops, work uint64
+	for p := range tally.Hops {
+		hops += tally.Hops[p]
+		work += tally.Work[p]
+	}
+	if hops != acc.Sum {
+		t.Fatalf("tally hops %d != ACD sum %d", hops, acc.Sum)
+	}
+	if work != acc.Count {
+		t.Fatalf("tally work %d != ACD count %d", work, acc.Count)
+	}
+}
+
+func TestCollectFFIConsistentWithACD(t *testing.T) {
+	const order = 5
+	pts, err := dist.SampleUnique(dist.Exponential, rng.New(2), order, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := acd.Assign(pts, sfc.Morton, order, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.NewTorus(2, sfc.Morton)
+	tally := CollectFFI(a, topo)
+	acc := fmmmodel.FFI(a, topo, fmmmodel.FFIOptions{}).Total()
+	var hops uint64
+	for p := range tally.Hops {
+		hops += tally.Hops[p]
+	}
+	if hops != acc.Sum {
+		t.Fatalf("tally hops %d != FFI sum %d", hops, acc.Sum)
+	}
+}
+
+// TestACDOrderingPredictsMakespan is the validation claim: ranking the
+// curves by ACD gives the same ranking as the modeled execution time,
+// for communication-dominated cost parameters.
+func TestACDOrderingPredictsMakespan(t *testing.T) {
+	const order, procOrder = 8, 4
+	pts, err := dist.SampleUnique(dist.Uniform, rng.New(3), order, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type score struct {
+		name     string
+		acdVal   float64
+		makespan float64
+	}
+	var scores []score
+	for _, curve := range sfc.All() {
+		a, err := acd.Assign(pts, curve, order, 1<<(2*procOrder))
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := topology.NewTorus(procOrder, curve)
+		opts := fmmmodel.NFIOptions{Radius: 1, Metric: geom.MetricChebyshev}
+		acc := fmmmodel.NFI(a, topo, opts)
+		tally := CollectNFI(a, topo, opts)
+		ms, err := tally.Makespan(CostParams{Alpha: 1, Beta: 0.5, Gamma: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores = append(scores, score{curve.Name(), acc.ACD(), ms})
+	}
+	// Hilbert must win both; rowmajor must lose both.
+	best, worst := scores[0], scores[0]
+	for _, s := range scores {
+		if s.acdVal < best.acdVal {
+			best = s
+		}
+		if s.acdVal > worst.acdVal {
+			worst = s
+		}
+	}
+	if best.name != "hilbert" || worst.name != "rowmajor" {
+		t.Fatalf("unexpected ACD extremes: best %s worst %s", best.name, worst.name)
+	}
+	// The makespan is a max statistic, so curves with near-tied ACDs
+	// (hilbert/morton/gray here) may swap by a few percent — that gap
+	// is exactly the contention/imbalance information the ACD does not
+	// carry. The validation claim is about separated curves: whenever
+	// one curve's ACD is at least 2x another's, the modeled makespans
+	// must order the same way.
+	for i := range scores {
+		for j := range scores {
+			if scores[i].acdVal*2 < scores[j].acdVal && scores[i].makespan >= scores[j].makespan {
+				t.Errorf("ACD and makespan orderings disagree: %s(acd %f, T %f) vs %s(acd %f, T %f)",
+					scores[i].name, scores[i].acdVal, scores[i].makespan,
+					scores[j].name, scores[j].acdVal, scores[j].makespan)
+			}
+		}
+	}
+	// And near-ties stay near: any makespan inversion among close-ACD
+	// curves is bounded.
+	for i := range scores {
+		for j := range scores {
+			if scores[i].acdVal < scores[j].acdVal && scores[i].makespan > scores[j].makespan {
+				if math.Abs(scores[i].makespan-scores[j].makespan) > 0.2*scores[j].makespan {
+					t.Errorf("large makespan inversion between %s and %s", scores[i].name, scores[j].name)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkOnlyMakespanIgnoresPlacement(t *testing.T) {
+	// With Gamma-only costs, the makespan is the work imbalance and
+	// placement does not matter: hilbert and rowmajor tie (both
+	// count-balanced with the same work profile summed per chunk size).
+	const order = 6
+	pts, err := dist.SampleUnique(dist.Uniform, rng.New(4), order, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := fmmmodel.NFIOptions{Radius: 1, Metric: geom.MetricChebyshev}
+	ms := map[string]float64{}
+	for _, curve := range []sfc.Curve{sfc.Hilbert, sfc.RowMajor} {
+		a, err := acd.Assign(pts, curve, order, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := topology.NewTorus(2, curve)
+		tally := CollectNFI(a, topo, opts)
+		v, err := tally.Makespan(CostParams{Gamma: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[curve.Name()] = v
+	}
+	// Not asserting exact equality (work depends on which particles
+	// land in which chunk), but the ratio must be mild compared to the
+	// communication-term gap (which is ~10x).
+	r := ms["rowmajor"] / ms["hilbert"]
+	if r > 1.5 || r < 0.67 {
+		t.Errorf("work-only makespans differ unexpectedly: %v", ms)
+	}
+}

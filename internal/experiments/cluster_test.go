@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunClustering(t *testing.T) {
+	res, err := RunClustering(7, []uint32{4, 8}, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 || len(res.QuerySides) != 2 {
+		t.Fatalf("bad shape")
+	}
+	// The classical ordering (Jagadish 1990): Hilbert needs clearly
+	// fewer clusters than the Z-curve and the Gray order. (Row-major is
+	// omitted: an s x s window is exactly s row-runs, which ties the
+	// Hilbert average for square queries — the row-major pathology
+	// shows up for elongated queries and under the other metrics.)
+	const hilbert, morton, gray = 0, 1, 2
+	for q := range res.QuerySides {
+		if res.Avg[hilbert][q] >= res.Avg[morton][q] {
+			t.Errorf("query %d: hilbert %f >= morton %f",
+				res.QuerySides[q], res.Avg[hilbert][q], res.Avg[morton][q])
+		}
+		if res.Avg[hilbert][q] >= res.Avg[gray][q] {
+			t.Errorf("query %d: hilbert %f >= gray %f",
+				res.QuerySides[q], res.Avg[hilbert][q], res.Avg[gray][q])
+		}
+	}
+	// Larger queries touch more clusters.
+	for c := range res.Curves {
+		if res.Avg[c][1] <= res.Avg[c][0] {
+			t.Errorf("%s: clusters not increasing with query size", res.Curves[c])
+		}
+	}
+	// Deterministic.
+	res2, err := RunClustering(7, []uint32{4, 8}, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range res.Avg {
+		for q := range res.Avg[c] {
+			if res.Avg[c][q] != res2.Avg[c][q] {
+				t.Fatal("RunClustering not deterministic")
+			}
+		}
+	}
+	var b strings.Builder
+	if err := res.SeriesTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Clustering metric") {
+		t.Error("title missing")
+	}
+	if _, err := RunClustering(7, nil, 10, 1); err == nil {
+		t.Error("empty query sides accepted")
+	}
+	if _, err := RunClustering(0, []uint32{2}, 10, 1); err == nil {
+		t.Error("order 0 accepted")
+	}
+}
+
+// TestMetricsDisagree locks in the paper's central narrative: the
+// Hilbert curve wins the clustering metric but loses ANNS to the
+// Z-curve — no single proximity metric tells the whole story, which is
+// what motivates the application-aware ACD.
+func TestMetricsDisagree(t *testing.T) {
+	cluster, err := RunClustering(7, []uint32{8}, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annsRes, err := RunFig5(7, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hilbert, morton = 0, 1
+	if cluster.Avg[hilbert][0] >= cluster.Avg[morton][0] {
+		t.Errorf("clustering: hilbert %f >= morton %f",
+			cluster.Avg[hilbert][0], cluster.Avg[morton][0])
+	}
+	if annsRes.ANNS[hilbert][0] <= annsRes.ANNS[morton][0] {
+		t.Errorf("ANNS: hilbert %f <= morton %f",
+			annsRes.ANNS[hilbert][0], annsRes.ANNS[morton][0])
+	}
+}

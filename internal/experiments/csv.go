@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/tablefmt"
+)
+
+// This file provides machine-readable CSV emitters for every
+// experiment result, so the figures can be re-plotted with external
+// tools.
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+// WriteCSV emits one CSV per distribution with columns
+// (distribution, family, proc_curve, particle_curve, acd).
+func (t Table12Result) WriteCSV(w io.Writer) error {
+	header := []string{"distribution", "family", "proc_curve", "particle_curve", "acd"}
+	var rows [][]string
+	for r, proc := range t.Curves {
+		for c, part := range t.Curves {
+			rows = append(rows,
+				[]string{t.Distribution, "nfi", proc, part, f(t.NFI[r][c])},
+				[]string{t.Distribution, "ffi", proc, part, f(t.FFI[r][c])})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits (side, curve, anns) rows.
+func (r Fig5Result) WriteCSV(w io.Writer) error {
+	header := []string{"side", "curve", "radius", "anns"}
+	var rows [][]string
+	for c, name := range r.Curves {
+		for i, o := range r.Orders {
+			rows = append(rows, []string{
+				strconv.Itoa(int(geom.Side(o))), name, strconv.Itoa(r.Radius), f(r.ANNS[c][i]),
+			})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits (topology, curve, family, acd) rows.
+func (r Fig6Result) WriteCSV(w io.Writer) error {
+	header := []string{"topology", "curve", "family", "acd"}
+	var rows [][]string
+	for t, topo := range r.Topologies {
+		for c, curve := range r.Curves {
+			rows = append(rows,
+				[]string{topo, curve, "nfi", f(r.NFI[t][c])},
+				[]string{topo, curve, "ffi", f(r.FFI[t][c])})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits (processors, curve, family, acd) rows.
+func (r Fig7Result) WriteCSV(w io.Writer) error {
+	header := []string{"processors", "curve", "family", "acd"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		for i, p := range r.ProcCounts {
+			rows = append(rows,
+				[]string{strconv.Itoa(p), curve, "nfi", f(r.NFI[c][i])},
+				[]string{strconv.Itoa(p), curve, "ffi", f(r.FFI[c][i])})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits (radius, curve, acd) rows.
+func (r RadiusSweepResult) WriteCSV(w io.Writer) error {
+	header := []string{"radius", "curve", "acd"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		for i, radius := range r.Radii {
+			rows = append(rows, []string{strconv.Itoa(radius), curve, f(r.NFI[c][i])})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits (query_side, curve, clusters) rows.
+func (r ClusterResult) WriteCSV(w io.Writer) error {
+	header := []string{"query_side", "curve", "clusters"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		for q, qs := range r.QuerySides {
+			rows = append(rows, []string{fmt.Sprint(qs), curve, f(r.Avg[c][q])})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits (step, curve, policy, acd) rows.
+func (r DynamicResult) WriteCSV(w io.Writer) error {
+	header := []string{"step", "curve", "policy", "acd"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		for s, step := range r.Steps {
+			rows = append(rows,
+				[]string{strconv.Itoa(step), curve, "static", f(r.Static[c][s])},
+				[]string{strconv.Itoa(step), curve, "reorder", f(r.Reorder[c][s])})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits (curve, nfi, ffi, anns) rows.
+func (r ThreeDResult) WriteCSV(w io.Writer) error {
+	header := []string{"curve", "nfi", "ffi", "anns"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		rows = append(rows, []string{curve, f(r.NFI[c]), f(r.FFI[c]), f(r.ANNS[c])})
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits the wrap-link ablation rows.
+func (r MeshTorusResult) WriteCSV(w io.Writer) error {
+	header := []string{"curve", "mesh_nfi", "torus_nfi", "mesh_ffi", "torus_ffi"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		rows = append(rows, []string{
+			curve, f(r.MeshNFI[c]), f(r.TorusNFI[c]), f(r.MeshFFI[c]), f(r.TorusFFI[c]),
+		})
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits the size-sweep rows (particles, curve, family, acd).
+func (r SizeSweepResult) WriteCSV(w io.Writer) error {
+	header := []string{"particles", "curve", "family", "acd"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		for i, n := range r.Sizes {
+			rows = append(rows,
+				[]string{strconv.Itoa(n), curve, "nfi", f(r.NFI[c][i])},
+				[]string{strconv.Itoa(n), curve, "ffi", f(r.FFI[c][i])})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits the load-balance rows.
+func (r LoadBalanceResult) WriteCSV(w io.Writer) error {
+	header := []string{"curve", "count_imbalance", "work_imbalance", "count_acd", "work_acd"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		rows = append(rows, []string{
+			curve, f(r.CountImbalance[c]), f(r.WorkImbalance[c]), f(r.CountACD[c]), f(r.WorkACD[c]),
+		})
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits the execution-model rows.
+func (r ExecModelResult) WriteCSV(w io.Writer) error {
+	header := []string{"curve", "acd", "makespan", "max_sends"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		rows = append(rows, []string{curve, f(r.ACD[c]), f(r.Makespan[c]), f(r.MaxSends[c])})
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits the metric-landscape rows.
+func (r MetricsResult) WriteCSV(w io.Writer) error {
+	header := []string{"curve", "anns", "max_stretch", "all_pairs", "clusters", "nfi_acd", "ffi_acd"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		rows = append(rows, []string{
+			curve, f(r.ANNS[c]), f(r.MaxStretch[c]), f(r.AllPairs[c]),
+			f(r.Clusters[c]), f(r.NFI[c]), f(r.FFI[c]),
+		})
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
+// WriteCSV emits the contention rows.
+func (r ContentionResult) WriteCSV(w io.Writer) error {
+	header := []string{"curve", "grid", "acd", "max_link", "mean_link"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		rows = append(rows,
+			[]string{curve, "mesh", f(r.MeshACD[c]), f(r.MeshMaxLoad[c]), f(r.MeshMeanLoad[c])},
+			[]string{curve, "torus", f(r.TorusACD[c]), f(r.TorusMaxLoad[c]), f(r.TorusMeanLoad[c])})
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}

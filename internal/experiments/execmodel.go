@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"sfcacd/internal/acd"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/execmodel"
+	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/tablefmt"
+	"sfcacd/internal/topology"
+)
+
+// ExecModelResult holds the ACD-validation study: per curve, the NFI
+// ACD alongside the bulk-synchronous modeled makespan and total cost,
+// so the correlation the ACD metric promises can be inspected
+// directly.
+type ExecModelResult struct {
+	Curves []string
+	// ACD is the plain near-field ACD.
+	ACD []float64
+	// Makespan is max over processors of alpha*sends + beta*hops +
+	// gamma*work.
+	Makespan []float64
+	// MaxSends is the message count of the busiest processor.
+	MaxSends []float64
+}
+
+// Matrix renders the study.
+func (r ExecModelResult) Matrix() *tablefmt.Matrix {
+	m := &tablefmt.Matrix{
+		Title:  "ACD vs modeled execution time (NFI, torus)",
+		Corner: "SFC",
+		Cols:   []string{"ACD", "makespan", "max sends"},
+		Rows:   r.Curves,
+	}
+	for i := range r.Curves {
+		m.Cells = append(m.Cells, []float64{r.ACD[i], r.Makespan[i], r.MaxSends[i]})
+	}
+	return m
+}
+
+// RunExecModel computes ACD and modeled makespan per curve for a
+// uniform input on a torus with the default cost parameters.
+func RunExecModel(p Params) (ExecModelResult, error) {
+	if err := p.Validate(); err != nil {
+		return ExecModelResult{}, err
+	}
+	curves := sfc.All()
+	n := len(curves)
+	res := ExecModelResult{
+		Curves:   curveNames(curves),
+		ACD:      make([]float64, n),
+		Makespan: make([]float64, n),
+		MaxSends: make([]float64, n),
+	}
+	for trial := 0; trial < p.Trials; trial++ {
+		pts, err := samplePoints(dist.Uniform, p, trial)
+		if err != nil {
+			return ExecModelResult{}, err
+		}
+		for c, curve := range curves {
+			a, err := acd.Assign(pts, curve, p.Order, p.P())
+			if err != nil {
+				return ExecModelResult{}, err
+			}
+			topo := topology.NewTorus(p.ProcOrder, curve)
+			opts := fmmmodel.NFIOptions{Radius: p.Radius, Metric: geom.MetricChebyshev}
+			tally := execmodel.CollectNFI(a, topo, opts)
+			ms, err := tally.Makespan(execmodel.DefaultCost)
+			if err != nil {
+				return ExecModelResult{}, err
+			}
+			var maxSends uint64
+			for _, s := range tally.Sends {
+				if s > maxSends {
+					maxSends = s
+				}
+			}
+			f := 1 / float64(p.Trials)
+			res.ACD[c] += fmmmodel.NFI(a, topo, opts).ACD() * f
+			res.Makespan[c] += ms * f
+			res.MaxSends[c] += float64(maxSends) * f
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExecModel(t *testing.T) {
+	res, err := RunExecModel(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves %v", res.Curves)
+	}
+	const hilbert, rowmajor = 0, 3
+	// The separated-curve validation: rowmajor's ACD is many times
+	// hilbert's, and the modeled makespan agrees.
+	if res.ACD[hilbert]*2 > res.ACD[rowmajor] {
+		t.Fatalf("expected separated ACDs, got %f vs %f", res.ACD[hilbert], res.ACD[rowmajor])
+	}
+	if res.Makespan[hilbert] >= res.Makespan[rowmajor] {
+		t.Errorf("makespan does not track ACD: hilbert %f >= rowmajor %f",
+			res.Makespan[hilbert], res.Makespan[rowmajor])
+	}
+	if res.MaxSends[hilbert] >= res.MaxSends[rowmajor] {
+		t.Errorf("max sends: hilbert %f >= rowmajor %f",
+			res.MaxSends[hilbert], res.MaxSends[rowmajor])
+	}
+	var b strings.Builder
+	if err := res.Matrix().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "modeled execution") {
+		t.Error("title missing")
+	}
+	bad := testParams
+	bad.Trials = 0
+	if _, err := RunExecModel(bad); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestRunExecModelDeterministic(t *testing.T) {
+	a, err := RunExecModel(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExecModel(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Curves {
+		if a.Makespan[c] != b.Makespan[c] {
+			t.Fatal("RunExecModel not deterministic")
+		}
+	}
+}

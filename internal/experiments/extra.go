@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"sfcacd/internal/acd"
+	"sfcacd/internal/contention"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/primitives"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/tablefmt"
+	"sfcacd/internal/topology"
+)
+
+// PrimitivesResult holds the §VII generality study: the ACD of each
+// standard communication primitive on a mesh and torus under each
+// processor-order curve (placement is the only thing the curve
+// changes here).
+type PrimitivesResult struct {
+	// Patterns are the primitive names (rows).
+	Patterns []string
+	// Curves are the placement curve names (columns).
+	Curves []string
+	// Mesh[p][c] and Torus[p][c] are ACD values.
+	Mesh  [][]float64
+	Torus [][]float64
+}
+
+// Matrices renders the two panels.
+func (r PrimitivesResult) Matrices() (mesh, torus *tablefmt.Matrix) {
+	mk := func(title string, cells [][]float64) *tablefmt.Matrix {
+		return &tablefmt.Matrix{
+			Title:      title,
+			Corner:     "primitive\\SFC",
+			Cols:       r.Curves,
+			Rows:       r.Patterns,
+			Cells:      cells,
+			MarkMinima: true,
+		}
+	}
+	return mk("Communication primitives on the mesh (§VII)", r.Mesh),
+		mk("Communication primitives on the torus (§VII)", r.Torus)
+}
+
+// RunPrimitives evaluates every §VII primitive under every
+// processor-order curve at p = 4^ProcOrder. Deterministic: no
+// sampling is involved.
+func RunPrimitives(procOrder uint) PrimitivesResult {
+	curves := sfc.All()
+	pats := primitives.Patterns()
+	res := PrimitivesResult{
+		Curves: curveNames(curves),
+		Mesh:   zeroRect(len(pats), len(curves)),
+		Torus:  zeroRect(len(pats), len(curves)),
+	}
+	for _, p := range pats {
+		res.Patterns = append(res.Patterns, p.Name)
+	}
+	for c, curve := range curves {
+		mesh := topology.NewMesh(procOrder, curve)
+		torus := topology.NewTorus(procOrder, curve)
+		for i, p := range pats {
+			res.Mesh[i][c] = p.Run(mesh).ACD()
+			res.Torus[i][c] = p.Run(torus).ACD()
+		}
+	}
+	return res
+}
+
+// ContentionResult extends the ACD with link-congestion statistics
+// (future-work item i): NFI traffic routed with XY routing over the
+// mesh and torus, per curve (same curve both roles).
+type ContentionResult struct {
+	Curves []string
+	// Per curve: ACD (hops per message) and the max/mean link load.
+	MeshACD, MeshMaxLoad, MeshMeanLoad    []float64
+	TorusACD, TorusMaxLoad, TorusMeanLoad []float64
+}
+
+// Matrix renders the study.
+func (r ContentionResult) Matrix() *tablefmt.Matrix {
+	m := &tablefmt.Matrix{
+		Title:  "NFI contention under XY routing",
+		Corner: "SFC",
+		Cols: []string{
+			"mesh ACD", "mesh max link", "mesh mean link",
+			"torus ACD", "torus max link", "torus mean link",
+		},
+		Rows: r.Curves,
+	}
+	for i := range r.Curves {
+		m.Cells = append(m.Cells, []float64{
+			r.MeshACD[i], r.MeshMaxLoad[i], r.MeshMeanLoad[i],
+			r.TorusACD[i], r.TorusMaxLoad[i], r.TorusMeanLoad[i],
+		})
+	}
+	return m
+}
+
+// RunContention routes the near-field traffic of a uniform input over
+// the mesh and torus and reports congestion alongside the ACD.
+func RunContention(p Params) (ContentionResult, error) {
+	if err := p.Validate(); err != nil {
+		return ContentionResult{}, err
+	}
+	curves := sfc.All()
+	n := len(curves)
+	res := ContentionResult{
+		Curves:        curveNames(curves),
+		MeshACD:       make([]float64, n),
+		MeshMaxLoad:   make([]float64, n),
+		MeshMeanLoad:  make([]float64, n),
+		TorusACD:      make([]float64, n),
+		TorusMaxLoad:  make([]float64, n),
+		TorusMeanLoad: make([]float64, n),
+	}
+	for trial := 0; trial < p.Trials; trial++ {
+		pts, err := samplePoints(dist.Uniform, p, trial)
+		if err != nil {
+			return ContentionResult{}, err
+		}
+		for c, curve := range curves {
+			a, err := acd.Assign(pts, curve, p.Order, p.P())
+			if err != nil {
+				return ContentionResult{}, err
+			}
+			grids := []contention.GridTopology{
+				topology.NewMesh(p.ProcOrder, curve),
+				topology.NewTorus(p.ProcOrder, curve),
+			}
+			for g, grid := range grids {
+				tr := contention.NewTracker(grid)
+				fmmmodel.VisitNFIPairs(a, fmmmodel.NFIOptions{
+					Radius: p.Radius, Metric: geom.MetricChebyshev,
+				}, tr.Route)
+				s := tr.Stats()
+				acdVal := 0.0
+				if s.Messages > 0 {
+					acdVal = float64(s.Hops) / float64(s.Messages)
+				}
+				f := 1 / float64(p.Trials)
+				if g == 0 {
+					res.MeshACD[c] += acdVal * f
+					res.MeshMaxLoad[c] += float64(s.MaxLinkLoad) * f
+					res.MeshMeanLoad[c] += s.MeanLinkLoad * f
+				} else {
+					res.TorusACD[c] += acdVal * f
+					res.TorusMaxLoad[c] += float64(s.MaxLinkLoad) * f
+					res.TorusMeanLoad[c] += s.MeanLinkLoad * f
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunLoadBalance(t *testing.T) {
+	p := testParams
+	res, err := RunLoadBalance(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 4 {
+		t.Fatalf("curves %v", res.Curves)
+	}
+	for c := range res.Curves {
+		// Work-weighted chunking must improve (or match) the work
+		// imbalance of the skewed input for every curve.
+		if res.WorkImbalance[c] > res.CountImbalance[c]+1e-9 {
+			t.Errorf("%s: work imbalance %f worse than count %f",
+				res.Curves[c], res.WorkImbalance[c], res.CountImbalance[c])
+		}
+		if res.WorkImbalance[c] < 1 || res.CountImbalance[c] < 1 {
+			t.Errorf("%s: imbalance below 1", res.Curves[c])
+		}
+		// Rebalancing must not blow up the communication metric: the
+		// ACD stays in the same ballpark (within 2x).
+		if res.WorkACD[c] > 2*res.CountACD[c]+1 {
+			t.Errorf("%s: work-balanced ACD %f far above count-balanced %f",
+				res.Curves[c], res.WorkACD[c], res.CountACD[c])
+		}
+	}
+	var b strings.Builder
+	if err := res.Matrix().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "load balancing") {
+		t.Error("title missing")
+	}
+	bad := p
+	bad.Trials = 0
+	if _, err := RunLoadBalance(bad); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestRunLoadBalanceDeterministic(t *testing.T) {
+	a, err := RunLoadBalance(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoadBalance(testParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Curves {
+		if a.WorkACD[c] != b.WorkACD[c] || a.CountImbalance[c] != b.CountImbalance[c] {
+			t.Fatal("RunLoadBalance not deterministic")
+		}
+	}
+}

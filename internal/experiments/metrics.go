@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"sfcacd/internal/acd"
+	"sfcacd/internal/anns"
+	"sfcacd/internal/clustering"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/tablefmt"
+	"sfcacd/internal/topology"
+)
+
+// MetricsResult is the metric landscape of the paper in one table: for
+// each curve, every proximity metric discussed (ANNS, max stretch,
+// all-pairs stretch, clustering) next to the application-aware ACD
+// (NFI and FFI on a torus). The table makes the paper's motivation
+// visible at a glance: the application-independent metrics disagree
+// about the curves, so an application model is needed.
+type MetricsResult struct {
+	Curves []string
+	// Application-independent metrics at ANNSOrder.
+	ANNS, MaxStretch, AllPairs, Clusters []float64
+	// Application-aware ACD at the Params scale.
+	NFI, FFI []float64
+}
+
+// Matrix renders the comparison.
+func (r MetricsResult) Matrix() *tablefmt.Matrix {
+	m := &tablefmt.Matrix{
+		Title:  "Metric landscape: proximity metrics vs application ACD",
+		Corner: "SFC",
+		Cols:   []string{"ANNS", "max stretch", "all-pairs", "clusters", "NFI ACD", "FFI ACD"},
+		Rows:   r.Curves,
+		// Minima markers make the disagreement visible: different
+		// metrics crown different curves.
+		MarkMinima: true,
+	}
+	for i := range r.Curves {
+		m.Cells = append(m.Cells, []float64{
+			r.ANNS[i], r.MaxStretch[i], r.AllPairs[i], r.Clusters[i], r.NFI[i], r.FFI[i],
+		})
+	}
+	return m
+}
+
+// MetricsConfig parameterizes the landscape study.
+type MetricsConfig struct {
+	// Params drives the ACD columns.
+	Params Params
+	// MetricOrder is the grid order for the application-independent
+	// metrics (full-grid computations).
+	MetricOrder uint
+	// QuerySide and QueryTrials drive the clustering column.
+	QuerySide   uint32
+	QueryTrials int
+}
+
+// RunMetrics computes the landscape.
+func RunMetrics(cfg MetricsConfig) (MetricsResult, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return MetricsResult{}, err
+	}
+	if cfg.MetricOrder < 1 || cfg.MetricOrder > 10 || cfg.QueryTrials < 1 {
+		return MetricsResult{}, errBadMetricsConfig
+	}
+	curves := sfc.All()
+	n := len(curves)
+	res := MetricsResult{
+		Curves:     curveNames(curves),
+		ANNS:       make([]float64, n),
+		MaxStretch: make([]float64, n),
+		AllPairs:   make([]float64, n),
+		Clusters:   make([]float64, n),
+		NFI:        make([]float64, n),
+		FFI:        make([]float64, n),
+	}
+	for c, curve := range curves {
+		res.ANNS[c] = anns.Stretch(curve, cfg.MetricOrder, anns.Options{Radius: 1}).Mean
+		res.MaxStretch[c] = anns.MaxStretch(curve, cfg.MetricOrder, anns.Options{Radius: 1})
+		res.AllPairs[c] = anns.AllPairsStretch(curve, cfg.MetricOrder, 20000,
+			rng.New(cfg.Params.Seed^uint64(c))).Mean
+		res.Clusters[c] = clustering.AverageClusters(curve, cfg.MetricOrder, cfg.QuerySide,
+			cfg.QueryTrials, rng.New(cfg.Params.Seed+uint64(c)))
+	}
+	for trial := 0; trial < cfg.Params.Trials; trial++ {
+		pts, err := samplePoints(dist.Uniform, cfg.Params, trial)
+		if err != nil {
+			return MetricsResult{}, err
+		}
+		for c, curve := range curves {
+			a, err := acd.Assign(pts, curve, cfg.Params.Order, cfg.Params.P())
+			if err != nil {
+				return MetricsResult{}, err
+			}
+			torus := topology.NewTorus(cfg.Params.ProcOrder, curve)
+			f := 1 / float64(cfg.Params.Trials)
+			res.NFI[c] += fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
+				Radius: cfg.Params.Radius, Metric: geom.MetricChebyshev,
+			}).ACD() * f
+			res.FFI[c] += fmmmodel.FFI(a, torus, fmmmodel.FFIOptions{}).Total().ACD() * f
+		}
+	}
+	return res, nil
+}
+
+type metricsConfigError struct{}
+
+func (metricsConfigError) Error() string { return "experiments: bad metrics configuration" }
+
+var errBadMetricsConfig = metricsConfigError{}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMetricsLandscape(t *testing.T) {
+	cfg := MetricsConfig{
+		Params:      testParams,
+		MetricOrder: 6,
+		QuerySide:   8,
+		QueryTrials: 1000,
+	}
+	res, err := RunMetrics(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hilbert, morton, gray, rowmajor = 0, 1, 2, 3
+	// The paper's central tension, in one table:
+	//  - ANNS crowns Z/row-major over Hilbert.
+	if !(res.ANNS[morton] < res.ANNS[hilbert]) {
+		t.Errorf("ANNS: morton %f !< hilbert %f", res.ANNS[morton], res.ANNS[hilbert])
+	}
+	//  - Clustering crowns Hilbert over Z and Gray.
+	if !(res.Clusters[hilbert] < res.Clusters[morton] && res.Clusters[hilbert] < res.Clusters[gray]) {
+		t.Errorf("clustering: hilbert %f not best of recursive curves", res.Clusters[hilbert])
+	}
+	//  - The application ACD also crowns Hilbert.
+	if !(res.NFI[hilbert] < res.NFI[morton] && res.NFI[hilbert] < res.NFI[rowmajor]) {
+		t.Errorf("NFI ACD: hilbert %f not best", res.NFI[hilbert])
+	}
+	// Max stretch dominates mean stretch for every curve.
+	for c := range res.Curves {
+		if res.MaxStretch[c] < res.ANNS[c] {
+			t.Errorf("%s: max stretch %f < mean %f", res.Curves[c], res.MaxStretch[c], res.ANNS[c])
+		}
+	}
+	var b strings.Builder
+	if err := res.Matrix().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Metric landscape") {
+		t.Error("title missing")
+	}
+	// Config validation.
+	bad := cfg
+	bad.MetricOrder = 0
+	if _, err := RunMetrics(bad); err == nil {
+		t.Error("bad metric order accepted")
+	}
+	bad = cfg
+	bad.QueryTrials = 0
+	if _, err := RunMetrics(bad); err == nil {
+		t.Error("zero query trials accepted")
+	}
+	bad = cfg
+	bad.Params.Trials = 0
+	if _, err := RunMetrics(bad); err == nil {
+		t.Error("bad params accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/quadtree"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/tablefmt"
+	"sfcacd/internal/topology"
+)
+
+// RadiusSweepResult holds the §VI-C radius study: NFI ACD per curve as
+// the near-field radius grows (torus, same curve both roles). The
+// paper's observation: larger radii raise every curve's ACD but never
+// change the curves' relative order.
+type RadiusSweepResult struct {
+	Radii  []int
+	Curves []string
+	// NFI[c][i] is the ACD of curve c at Radii[i].
+	NFI [][]float64
+}
+
+// SeriesTable renders the sweep.
+func (r RadiusSweepResult) SeriesTable() *tablefmt.SeriesTable {
+	st := &tablefmt.SeriesTable{Title: "NFI ACD vs near-field radius (torus)", XLabel: "radius"}
+	for _, x := range r.Radii {
+		st.X = append(st.X, float64(x))
+	}
+	for c, name := range r.Curves {
+		st.Series = append(st.Series, tablefmt.Series{Name: name, Y: r.NFI[c]})
+	}
+	return st
+}
+
+// RunRadiusSweep computes the NFI ACD for each radius in radii.
+func RunRadiusSweep(p Params, radii []int) (RadiusSweepResult, error) {
+	if err := p.Validate(); err != nil {
+		return RadiusSweepResult{}, err
+	}
+	if len(radii) == 0 {
+		return RadiusSweepResult{}, fmt.Errorf("experiments: no radii to sweep")
+	}
+	curves := sfc.All()
+	res := RadiusSweepResult{
+		Radii:  append([]int(nil), radii...),
+		Curves: curveNames(curves),
+		NFI:    zeroRect(len(curves), len(radii)),
+	}
+	for trial := 0; trial < p.Trials; trial++ {
+		pts, err := samplePoints(dist.Uniform, p, trial)
+		if err != nil {
+			return RadiusSweepResult{}, err
+		}
+		for c, curve := range curves {
+			a, err := acd.Assign(pts, curve, p.Order, p.P())
+			if err != nil {
+				return RadiusSweepResult{}, err
+			}
+			torus := topology.NewTorus(p.ProcOrder, curve)
+			for i, radius := range radii {
+				acc := fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
+					Radius: radius, Metric: geom.MetricChebyshev,
+				})
+				res.NFI[c][i] += acc.ACD()
+			}
+		}
+	}
+	scaleMatrix(res.NFI, 1/float64(p.Trials))
+	return res, nil
+}
+
+// SizeSweepResult holds the §VI-C input-size study: ACD per curve as
+// the particle count grows at a fixed processor count.
+type SizeSweepResult struct {
+	Sizes  []int
+	Curves []string
+	NFI    [][]float64
+	FFI    [][]float64
+}
+
+// SeriesTables renders the sweep panels.
+func (r SizeSweepResult) SeriesTables() (nfi, ffi *tablefmt.SeriesTable) {
+	mk := func(title string, cells [][]float64) *tablefmt.SeriesTable {
+		st := &tablefmt.SeriesTable{Title: title, XLabel: "particles"}
+		for _, x := range r.Sizes {
+			st.X = append(st.X, float64(x))
+		}
+		for c, name := range r.Curves {
+			st.Series = append(st.Series, tablefmt.Series{Name: name, Y: cells[c]})
+		}
+		return st
+	}
+	return mk("NFI ACD vs input size (torus)", r.NFI), mk("FFI ACD vs input size (torus)", r.FFI)
+}
+
+// RunSizeSweep computes NFI and FFI ACD for each particle count in
+// sizes, holding Order, ProcOrder, and Radius fixed.
+func RunSizeSweep(p Params, sizes []int) (SizeSweepResult, error) {
+	if len(sizes) == 0 {
+		return SizeSweepResult{}, fmt.Errorf("experiments: no sizes to sweep")
+	}
+	curves := sfc.All()
+	res := SizeSweepResult{
+		Sizes:  append([]int(nil), sizes...),
+		Curves: curveNames(curves),
+		NFI:    zeroRect(len(curves), len(sizes)),
+		FFI:    zeroRect(len(curves), len(sizes)),
+	}
+	for i, n := range sizes {
+		q := p
+		q.Particles = n
+		if err := q.Validate(); err != nil {
+			return SizeSweepResult{}, err
+		}
+		for trial := 0; trial < q.Trials; trial++ {
+			pts, err := samplePoints(dist.Uniform, q, trial)
+			if err != nil {
+				return SizeSweepResult{}, err
+			}
+			for c, curve := range curves {
+				a, err := acd.Assign(pts, curve, q.Order, q.P())
+				if err != nil {
+					return SizeSweepResult{}, err
+				}
+				torus := topology.NewTorus(q.ProcOrder, curve)
+				nfi := fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
+					Radius: q.Radius, Metric: geom.MetricChebyshev,
+				})
+				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+				ffi := fmmmodel.FFIFromTree(tree, torus, fmmmodel.FFIOptions{})
+				res.NFI[c][i] += nfi.ACD() / float64(q.Trials)
+				res.FFI[c][i] += ffi.Total().ACD() / float64(q.Trials)
+			}
+		}
+	}
+	return res, nil
+}
+
+// MeshTorusResult holds the §VI-B wrap-link ablation: per curve, the
+// NFI and FFI ACD on a mesh versus a torus of the same size. The
+// paper's observation: for the recursive curves the two are highly
+// comparable, while row-major benefits markedly from the wrap links.
+type MeshTorusResult struct {
+	Curves []string
+	// Columns: mesh NFI, torus NFI, mesh FFI, torus FFI.
+	MeshNFI, TorusNFI, MeshFFI, TorusFFI []float64
+}
+
+// Matrix renders the ablation as a curves x {mesh,torus} table.
+func (r MeshTorusResult) Matrix() *tablefmt.Matrix {
+	m := &tablefmt.Matrix{
+		Title:  "Mesh vs torus (wrap-link utility)",
+		Corner: "SFC",
+		Cols:   []string{"mesh NFI", "torus NFI", "mesh FFI", "torus FFI"},
+		Rows:   r.Curves,
+	}
+	for i := range r.Curves {
+		m.Cells = append(m.Cells, []float64{r.MeshNFI[i], r.TorusNFI[i], r.MeshFFI[i], r.TorusFFI[i]})
+	}
+	return m
+}
+
+// RunMeshTorus computes the ablation at the given parameters.
+func RunMeshTorus(p Params) (MeshTorusResult, error) {
+	if err := p.Validate(); err != nil {
+		return MeshTorusResult{}, err
+	}
+	curves := sfc.All()
+	res := MeshTorusResult{
+		Curves:   curveNames(curves),
+		MeshNFI:  make([]float64, len(curves)),
+		TorusNFI: make([]float64, len(curves)),
+		MeshFFI:  make([]float64, len(curves)),
+		TorusFFI: make([]float64, len(curves)),
+	}
+	for trial := 0; trial < p.Trials; trial++ {
+		pts, err := samplePoints(dist.Uniform, p, trial)
+		if err != nil {
+			return MeshTorusResult{}, err
+		}
+		for c, curve := range curves {
+			a, err := acd.Assign(pts, curve, p.Order, p.P())
+			if err != nil {
+				return MeshTorusResult{}, err
+			}
+			topos := []topology.Topology{
+				topology.NewMesh(p.ProcOrder, curve),
+				topology.NewTorus(p.ProcOrder, curve),
+			}
+			nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+				Radius: p.Radius, Metric: geom.MetricChebyshev,
+			})
+			ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{})
+			res.MeshNFI[c] += nfi[0].ACD() / float64(p.Trials)
+			res.TorusNFI[c] += nfi[1].ACD() / float64(p.Trials)
+			res.MeshFFI[c] += ffi[0].Total().ACD() / float64(p.Trials)
+			res.TorusFFI[c] += ffi[1].Total().ACD() / float64(p.Trials)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"sfcacd/internal/acd"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/quadtree"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/tablefmt"
+)
+
+// Table12Result holds, for one input distribution, the 4x4 particle x
+// processor SFC combination matrices of Tables I (NFI) and II (FFI).
+// Rows are processor-order curves, columns particle-order curves, in
+// the paper's order (Hilbert, Z, Gray, Row major).
+type Table12Result struct {
+	// Distribution names the input distribution.
+	Distribution string
+	// Curves are the curve names indexing both matrix dimensions.
+	Curves []string
+	// NFI[r][c] is the near-field ACD with processor order r and
+	// particle order c.
+	NFI [][]float64
+	// FFI[r][c] is the far-field ACD (interpolation + anterpolation +
+	// interaction list).
+	FFI [][]float64
+}
+
+// Matrices renders the result as the paper's two tables.
+func (t Table12Result) Matrices() (nfi, ffi *tablefmt.Matrix) {
+	mk := func(title string, cells [][]float64) *tablefmt.Matrix {
+		return &tablefmt.Matrix{
+			Title:      title,
+			Corner:     "proc\\particle",
+			Cols:       t.Curves,
+			Rows:       t.Curves,
+			Cells:      cells,
+			MarkMinima: true,
+		}
+	}
+	nfi = mk("Table I (NFI), "+t.Distribution+" distribution", t.NFI)
+	ffi = mk("Table II (FFI), "+t.Distribution+" distribution", t.FFI)
+	return nfi, ffi
+}
+
+// RunTable12 reproduces Tables I and II: for every input distribution
+// and every particle-order x processor-order SFC pair, the NFI and FFI
+// ACD on a torus of 4^ProcOrder processors, averaged over Trials.
+func RunTable12(p Params) ([]Table12Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	curves := sfc.All()
+	topos := torusPerCurve(p, curves)
+	var out []Table12Result
+	for _, sampler := range dist.All() {
+		res := Table12Result{
+			Distribution: sampler.Name(),
+			Curves:       curveNames(curves),
+			NFI:          zeroMatrix(len(curves)),
+			FFI:          zeroMatrix(len(curves)),
+		}
+		for trial := 0; trial < p.Trials; trial++ {
+			pts, err := samplePoints(sampler, p, trial)
+			if err != nil {
+				return nil, err
+			}
+			for pc, particleCurve := range curves {
+				a, err := acd.Assign(pts, particleCurve, p.Order, p.P())
+				if err != nil {
+					return nil, err
+				}
+				nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+					Radius: p.Radius, Metric: geom.MetricChebyshev,
+				})
+				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+				ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{})
+				for proc := range curves {
+					res.NFI[proc][pc] += nfiAccs[proc].ACD()
+					res.FFI[proc][pc] += ffiAccs[proc].Total().ACD()
+				}
+			}
+		}
+		scaleMatrix(res.NFI, 1/float64(p.Trials))
+		scaleMatrix(res.FFI, 1/float64(p.Trials))
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func zeroMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	return m
+}
+
+func scaleMatrix(m [][]float64, f float64) {
+	for _, row := range m {
+		for i := range row {
+			row[i] *= f
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom3"
+	"sfcacd/internal/model3d"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/tablefmt"
+	"sfcacd/internal/topology"
+)
+
+// ThreeDResult holds the 3D validation study (the paper's future-work
+// item ii): NFI and FFI ACD per 3D curve on a 3D torus, plus the 3D
+// ANNS, mirroring the 2D methodology on an octree decomposition.
+type ThreeDResult struct {
+	// Curves are the 3D curve names.
+	Curves []string
+	// NFI, FFI are ACD values per curve (same curve both roles).
+	NFI, FFI []float64
+	// ANNS is the 3D average nearest neighbor stretch (radius 1) per
+	// curve, computed on the full grid of ANNSOrder.
+	ANNS []float64
+	// ANNSOrder is the resolution used for the ANNS column.
+	ANNSOrder uint
+}
+
+// Matrix renders the study.
+func (r ThreeDResult) Matrix() *tablefmt.Matrix {
+	m := &tablefmt.Matrix{
+		Title:  "3D validation: ACD on a 3D torus and 3D ANNS",
+		Corner: "3D curve",
+		Cols:   []string{"NFI ACD", "FFI ACD", fmt.Sprintf("ANNS (2^%d grid)", r.ANNSOrder)},
+		Rows:   r.Curves,
+	}
+	for i := range r.Curves {
+		m.Cells = append(m.Cells, []float64{r.NFI[i], r.FFI[i], r.ANNS[i]})
+	}
+	return m
+}
+
+// ThreeDParams configures the 3D study.
+type ThreeDParams struct {
+	// Particles is the input size.
+	Particles int
+	// Order is the cube resolution order.
+	Order uint
+	// ProcOrder fixes p = 8^ProcOrder on a 2^ProcOrder-sided torus.
+	ProcOrder uint
+	// Radius is the near-field radius.
+	Radius int
+	// ANNSOrder is the (small) grid order for the full-grid ANNS
+	// column.
+	ANNSOrder uint
+	// Trials and Seed as in Params.
+	Trials int
+	Seed   uint64
+}
+
+// ThreeDDefault is a laptop-scale default for the 3D study.
+var ThreeDDefault = ThreeDParams{
+	Particles: 20000,
+	Order:     6, // 64^3 cells
+	ProcOrder: 2, // 64 processors on a 4x4x4 torus
+	Radius:    1,
+	ANNSOrder: 4, // 16^3 full grid
+	Trials:    1,
+	Seed:      2013,
+}
+
+// RunThreeD runs the 3D validation: uniform particles ordered by each
+// 3D curve, distributed over a 3D torus placed with the same curve.
+func RunThreeD(p ThreeDParams) (ThreeDResult, error) {
+	if p.Particles < 1 || p.Trials < 1 {
+		return ThreeDResult{}, fmt.Errorf("experiments: bad 3D params %+v", p)
+	}
+	if uint64(p.Particles) > geom3.Cells(p.Order) {
+		return ThreeDResult{}, fmt.Errorf("experiments: %d particles exceed %d cells",
+			p.Particles, geom3.Cells(p.Order))
+	}
+	curves := sfc.AllND(3)
+	res := ThreeDResult{
+		ANNSOrder: p.ANNSOrder,
+		NFI:       make([]float64, len(curves)),
+		FFI:       make([]float64, len(curves)),
+		ANNS:      make([]float64, len(curves)),
+	}
+	for _, c := range curves {
+		res.Curves = append(res.Curves, c.Name())
+	}
+	procs := 1 << (3 * p.ProcOrder)
+	for trial := 0; trial < p.Trials; trial++ {
+		pts, err := dist.SampleUnique3(dist.Uniform3, rng.New(trialSeed(p.Seed, trial)), p.Order, p.Particles)
+		if err != nil {
+			return ThreeDResult{}, err
+		}
+		for c, curve := range curves {
+			a, err := model3d.Assign(pts, curve, p.Order, procs)
+			if err != nil {
+				return ThreeDResult{}, err
+			}
+			torus := topology.NewTorus3D(p.ProcOrder, curve)
+			nfi := model3d.NFI(a, torus, model3d.NFIOptions{Radius: p.Radius})
+			ffi := model3d.FFI(a, torus, 0)
+			res.NFI[c] += nfi.ACD() / float64(p.Trials)
+			res.FFI[c] += ffi.Total().ACD() / float64(p.Trials)
+		}
+	}
+	for c, curve := range curves {
+		mean, _ := model3d.ANNS3D(curve, p.ANNSOrder, 1)
+		res.ANNS[c] = mean
+	}
+	return res, nil
+}

@@ -1,0 +1,50 @@
+package fmmmodel
+
+import (
+	"sfcacd/internal/acd"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/quadtree"
+)
+
+// This file exposes the raw communication event streams behind the NFI
+// and FFI accumulators, for consumers that need more than hop counts —
+// notably the contention extension, which routes every event over
+// physical links. Visitors are serial and deterministic.
+
+// VisitNFIPairs calls fn for every ordered near-field communication
+// (src and dst processor ranks), in particle order. Pairs on the same
+// processor are included (src == dst), mirroring the accumulator.
+func VisitNFIPairs(a *acd.Assignment, opts NFIOptions, fn func(src, dst int32)) {
+	opts.normalize()
+	for i := 0; i < a.N(); i++ {
+		p := a.Particles[i]
+		mine := a.Ranks[i]
+		geom.VisitNeighborhood(p, opts.Radius, opts.Metric, a.Side(), func(q geom.Point) {
+			if r := a.RankAt(q); r >= 0 {
+				fn(mine, r)
+			}
+		})
+	}
+}
+
+// VisitFFIPairs calls fn for every far-field communication: once per
+// interpolation link (child representative -> parent representative),
+// once per anterpolation link (the reverse), and once per
+// interaction-list exchange.
+func VisitFFIPairs(a *acd.Assignment, fn func(src, dst int32)) {
+	tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+	for l := tree.Order; l >= 1; l-- {
+		tree.VisitCells(l, func(x, y uint32, rep int32) {
+			parent := tree.Rep(l-1, x/2, y/2)
+			fn(rep, parent) // interpolation
+			fn(parent, rep) // anterpolation
+		})
+	}
+	for l := uint(2); l <= tree.Order; l++ {
+		tree.VisitCells(l, func(x, y uint32, rep int32) {
+			tree.InteractionList(l, x, y, func(_, _ uint32, other int32) {
+				fn(rep, other)
+			})
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package geom3
+
+import (
+	"testing"
+
+	"sfcacd/internal/geom"
+)
+
+func TestDistances(t *testing.T) {
+	a, b := Pt3(1, 2, 3), Pt3(4, 0, 3)
+	if got := Manhattan(a, b); got != 5 {
+		t.Errorf("Manhattan = %d", got)
+	}
+	if got := Chebyshev(a, b); got != 3 {
+		t.Errorf("Chebyshev = %d", got)
+	}
+	if Dist(geom.MetricManhattan, a, b) != 5 || Dist(geom.MetricChebyshev, a, b) != 3 {
+		t.Error("Dist dispatch wrong")
+	}
+	if Manhattan(a, a) != 0 || Chebyshev(a, a) != 0 {
+		t.Error("self distance nonzero")
+	}
+	if Manhattan(a, b) != Manhattan(b, a) || Chebyshev(a, b) != Chebyshev(b, a) {
+		t.Error("asymmetric distances")
+	}
+}
+
+func TestSideCells(t *testing.T) {
+	if Side(3) != 8 || Cells(3) != 512 {
+		t.Fatalf("Side/Cells wrong: %d %d", Side(3), Cells(3))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Side(21) did not panic")
+		}
+	}()
+	Side(21)
+}
+
+func TestCellIDRoundTrip(t *testing.T) {
+	const side = 8
+	seen := make(map[uint64]bool)
+	for z := uint32(0); z < side; z++ {
+		for y := uint32(0); y < side; y++ {
+			for x := uint32(0); x < side; x++ {
+				p := Pt3(x, y, z)
+				id := CellID(p, side)
+				if seen[id] {
+					t.Fatalf("duplicate id %d", id)
+				}
+				seen[id] = true
+				if got := PointOfCellID(id, side); got != p {
+					t.Fatalf("round trip %v -> %d -> %v", p, id, got)
+				}
+			}
+		}
+	}
+}
+
+func TestInBounds(t *testing.T) {
+	if !InBounds(0, 0, 0, 4) || !InBounds(3, 3, 3, 4) {
+		t.Error("corners out of bounds")
+	}
+	for _, bad := range [][3]int{{-1, 0, 0}, {0, 4, 0}, {0, 0, 4}} {
+		if InBounds(bad[0], bad[1], bad[2], 4) {
+			t.Errorf("%v in bounds", bad)
+		}
+	}
+}
+
+func TestVisitNeighborhoodMatchesBruteForce(t *testing.T) {
+	const side = 7
+	for _, m := range []geom.Metric{geom.MetricChebyshev, geom.MetricManhattan} {
+		for _, r := range []int{1, 2} {
+			for _, p := range []Point3{Pt3(0, 0, 0), Pt3(3, 3, 3), Pt3(6, 6, 6), Pt3(0, 3, 6)} {
+				want := make(map[Point3]bool)
+				for z := uint32(0); z < side; z++ {
+					for y := uint32(0); y < side; y++ {
+						for x := uint32(0); x < side; x++ {
+							q := Pt3(x, y, z)
+							if q != p && Dist(m, p, q) <= r {
+								want[q] = true
+							}
+						}
+					}
+				}
+				got := make(map[Point3]bool)
+				VisitNeighborhood(p, r, m, side, func(q Point3) {
+					if got[q] {
+						t.Fatalf("%v visited twice", q)
+					}
+					got[q] = true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("m=%v r=%d p=%v: got %d, want %d", m, r, p, len(got), len(want))
+				}
+				for q := range want {
+					if !got[q] {
+						t.Fatalf("missing %v", q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborhoodSize(t *testing.T) {
+	// Interior point check.
+	const side = 32
+	p := Pt3(16, 16, 16)
+	for _, m := range []geom.Metric{geom.MetricChebyshev, geom.MetricManhattan} {
+		for r := 1; r <= 4; r++ {
+			count := 0
+			VisitNeighborhood(p, r, m, side, func(Point3) { count++ })
+			if count != NeighborhoodSize(r, m) {
+				t.Errorf("m=%v r=%d: %d != %d", m, r, count, NeighborhoodSize(r, m))
+			}
+		}
+	}
+	// The paper's 3D near-field bound: 26 neighbors at r=1.
+	if NeighborhoodSize(1, geom.MetricChebyshev) != 26 {
+		t.Errorf("Chebyshev r=1 = %d, want 26", NeighborhoodSize(1, geom.MetricChebyshev))
+	}
+	if NeighborhoodSize(1, geom.MetricManhattan) != 6 {
+		t.Errorf("Manhattan r=1 = %d, want 6", NeighborhoodSize(1, geom.MetricManhattan))
+	}
+	if NeighborhoodSize(0, geom.MetricManhattan) != 0 {
+		t.Error("r=0 nonzero")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt3(1, 2, 3).String(); s != "(1,2,3)" {
+		t.Errorf("String = %q", s)
+	}
+}

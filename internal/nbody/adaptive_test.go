@@ -1,0 +1,204 @@
+package nbody
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"sfcacd/internal/rng"
+)
+
+func TestAdaptiveMatchesDirectUniform(t *testing.T) {
+	s := randomSystem(41, 2500)
+	direct, err := SolveDirect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmm, err := SolveAdaptiveFMM(s, FMMOptions{Terms: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := RelativeError(fmm, direct); e > 1e-6 {
+		t.Fatalf("adaptive relative error %g", e)
+	}
+	var maxDiff, maxMag float64
+	for i := range direct.Gradient {
+		if d := cmplx.Abs(fmm.Gradient[i] - direct.Gradient[i]); d > maxDiff {
+			maxDiff = d
+		}
+		if m := cmplx.Abs(direct.Gradient[i]); m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxDiff/maxMag > 1e-5 {
+		t.Fatalf("adaptive gradient relative error %g", maxDiff/maxMag)
+	}
+}
+
+func TestAdaptiveMatchesDirectClustered(t *testing.T) {
+	// The adaptive solver's reason to exist: a brutal cluster plus
+	// distant stragglers.
+	r := rng.New(43)
+	var s System
+	for i := 0; i < 1200; i++ {
+		s.Pos = append(s.Pos, complex(0.9+0.004*r.Float64(), 0.9+0.004*r.Float64()))
+		s.Q = append(s.Q, r.Float64()*2-1)
+	}
+	for i := 0; i < 80; i++ {
+		s.Pos = append(s.Pos, complex(r.Float64(), r.Float64()))
+		s.Q = append(s.Q, 1)
+	}
+	direct, err := SolveDirect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmm, err := SolveAdaptiveFMM(s, FMMOptions{Terms: 28, MaxDepth: 14, LeafSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := RelativeError(fmm, direct); e > 1e-6 {
+		t.Fatalf("clustered adaptive error %g", e)
+	}
+}
+
+func TestAdaptiveMatchesUniformSolver(t *testing.T) {
+	s := randomSystem(47, 3000)
+	uni, err := SolveFMM(s, FMMOptions{Terms: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ada, err := SolveAdaptiveFMM(s, FMMOptions{Terms: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := RelativeError(ada, uni); e > 1e-6 {
+		t.Fatalf("adaptive vs uniform error %g", e)
+	}
+}
+
+func TestAdaptiveAccuracyImprovesWithTerms(t *testing.T) {
+	s := randomSystem(53, 1200)
+	direct, err := SolveDirect(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, terms := range []int{6, 12, 22} {
+		fmm, err := SolveAdaptiveFMM(s, FMMOptions{Terms: terms})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := RelativeError(fmm, direct)
+		if e >= prev {
+			t.Fatalf("terms=%d error %g did not improve on %g", terms, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestAdaptiveSmallSystems(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7} {
+		s := randomSystem(59, n)
+		direct, err := SolveDirect(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmm, err := SolveAdaptiveFMM(s, FMMOptions{Terms: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := RelativeError(fmm, direct); e > 1e-9 {
+			t.Fatalf("n=%d: error %g", n, e)
+		}
+	}
+}
+
+func TestAdaptiveCoincidentParticles(t *testing.T) {
+	s := System{
+		Pos: []complex128{0.5 + 0.5i, 0.5 + 0.5i, 0.1 + 0.1i},
+		Q:   []float64{1, 1, 1},
+	}
+	fmm, err := SolveAdaptiveFMM(s, FMMOptions{Terms: 10, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := SolveDirect(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := RelativeError(fmm, direct); e > 1e-9 {
+		t.Fatalf("coincident error %g", e)
+	}
+}
+
+func TestAdaptiveRejectsBadSystem(t *testing.T) {
+	if _, err := SolveAdaptiveFMM(System{Pos: []complex128{-1}, Q: []float64{1}}, FMMOptions{}); err == nil {
+		t.Error("bad system accepted")
+	}
+}
+
+func TestAdaptiveTreeShapeFollowsClustering(t *testing.T) {
+	r := rng.New(61)
+	// Uniform cloud: shallow wide tree.
+	var uni System
+	for i := 0; i < 2000; i++ {
+		uni.Pos = append(uni.Pos, complex(r.Float64(), r.Float64()))
+		uni.Q = append(uni.Q, 1)
+	}
+	// Tight cluster: deep narrow tree.
+	var clu System
+	for i := 0; i < 2000; i++ {
+		clu.Pos = append(clu.Pos, complex(0.5+0.001*r.Float64(), 0.5+0.001*r.Float64()))
+		clu.Q = append(clu.Q, 1)
+	}
+	su, err := AdaptiveTreeStats(uni, FMMOptions{LeafSize: 16, MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := AdaptiveTreeStats(clu, FMMOptions{LeafSize: 16, MaxDepth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.MaxDepth <= su.MaxDepth {
+		t.Errorf("cluster depth %d not deeper than uniform %d", sc.MaxDepth, su.MaxDepth)
+	}
+	// The equivalent uniform tree at the cluster's depth would need
+	// 4^depth cells; the adaptive tree stays tiny.
+	if sc.Nodes >= 1<<(2*uint(sc.MaxDepth))/1000 {
+		t.Errorf("cluster tree (%d nodes) not far below uniform 4^%d", sc.Nodes, sc.MaxDepth)
+	}
+	if su.MaxLeafSize == 0 || sc.MaxLeafSize == 0 {
+		t.Error("degenerate leaf stats")
+	}
+	if _, err := AdaptiveTreeStats(System{Pos: []complex128{5}, Q: []float64{1}}, FMMOptions{}); err == nil {
+		t.Error("bad system accepted by stats")
+	}
+}
+
+func TestWellSeparatedGeometry(t *testing.T) {
+	mk := func(level, ix, iy int) *anode {
+		return &anode{level: level, ix: ix, iy: iy, center: cellCenter(level, ix, iy)}
+	}
+	// Same-level adjacent cells: not separated.
+	if wellSeparated(mk(2, 0, 0), mk(2, 1, 0)) {
+		t.Error("adjacent cells separated")
+	}
+	// Same-level cells two apart: separated (gap = one side).
+	if !wellSeparated(mk(2, 0, 0), mk(2, 2, 0)) {
+		t.Error("gap-1 cells not separated")
+	}
+	// A small cell adjacent to a big one: not separated.
+	if wellSeparated(mk(3, 2, 0), mk(2, 0, 0)) {
+		t.Error("touching mixed-size cells separated")
+	}
+	// A small cell with a big-cell gap: the gap must be at least the
+	// BIG side. Level-3 cell at (6,0) vs level-2 cell at (0,0): gap =
+	// 0.5 (cells span [0.75,0.875] and [0,0.25]) = 2x big side 0.25.
+	if !wellSeparated(mk(3, 6, 0), mk(2, 0, 0)) {
+		t.Error("well separated mixed-size cells rejected")
+	}
+	// Level-3 cell at (3,0) (span [0.375,0.5]) vs level-2 (0,0) (span
+	// [0,0.25]): gap 0.125 < big side 0.25: not separated.
+	if wellSeparated(mk(3, 3, 0), mk(2, 0, 0)) {
+		t.Error("insufficient gap accepted")
+	}
+}

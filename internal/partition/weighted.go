@@ -1,0 +1,85 @@
+package partition
+
+import "fmt"
+
+// This file adds work-weighted chunking in the style of Aluru &
+// Sevilgen (the paper's reference [4] on SFC-based load balancing):
+// instead of giving every processor the same number of particles, the
+// SFC-ordered particles are split so that every processor receives
+// approximately the same total work (e.g. near-field interaction
+// counts), while chunks stay contiguous along the curve.
+
+// WeightedChunks splits n ordered elements with the given non-negative
+// weights into p contiguous chunks of approximately equal total
+// weight, returning the rank of each element. Ranks are monotone
+// non-decreasing, every rank is in [0, p), and no rank is skipped
+// while weight remains.
+func WeightedChunks(weights []float64, p int) ([]int32, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("partition: no elements")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("partition: p = %d must be positive", p)
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("partition: negative weight at %d", i)
+		}
+		total += w
+	}
+	ranks := make([]int32, n)
+	if total == 0 {
+		// Degenerate: fall back to count-balanced chunks.
+		for i := range ranks {
+			ranks[i] = int32(ChunkOf(i, n, p))
+		}
+		return ranks, nil
+	}
+	// Greedy prefix splitting: element i goes to the rank whose ideal
+	// weight window contains the midpoint of i's weight interval.
+	target := total / float64(p)
+	var prefix float64
+	rank := int32(0)
+	for i, w := range weights {
+		mid := prefix + w/2
+		for rank < int32(p-1) && mid >= float64(rank+1)*target {
+			rank++
+		}
+		ranks[i] = rank
+		prefix += w
+	}
+	return ranks, nil
+}
+
+// ChunkWeights returns the per-rank total weight of an assignment
+// produced by WeightedChunks (or any monotone rank vector).
+func ChunkWeights(weights []float64, ranks []int32, p int) []float64 {
+	out := make([]float64, p)
+	for i, w := range weights {
+		out[ranks[i]] += w
+	}
+	return out
+}
+
+// Imbalance returns max/mean of the per-rank loads, the standard load
+// imbalance factor (1 is perfect). Ranks with zero load count toward
+// the mean.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := sum / float64(len(loads))
+	return max / mean
+}

@@ -1,0 +1,144 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"sfcacd/internal/rng"
+)
+
+func TestWeightedChunksUniformWeightsMatchCounts(t *testing.T) {
+	// Equal weights reduce to (approximately) count-balanced chunks.
+	weights := make([]float64, 100)
+	for i := range weights {
+		weights[i] = 1
+	}
+	ranks, err := WeightedChunks(weights, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := ChunkWeights(weights, ranks, 10)
+	for r, l := range loads {
+		if l != 10 {
+			t.Errorf("rank %d load %f, want 10", r, l)
+		}
+	}
+}
+
+func TestWeightedChunksMonotoneAndComplete(t *testing.T) {
+	r := rng.New(1)
+	weights := make([]float64, 500)
+	for i := range weights {
+		weights[i] = r.Float64() * 10
+	}
+	const p = 13
+	ranks, err := WeightedChunks(weights, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int32(0)
+	for i, rk := range ranks {
+		if rk < prev || rk >= p {
+			t.Fatalf("rank %d at %d (prev %d)", rk, i, prev)
+		}
+		prev = rk
+	}
+}
+
+func TestWeightedChunksBalancesSkew(t *testing.T) {
+	// Heavy head: first 10 elements carry half the work. Weighted
+	// chunking must spread them across ranks far better than count
+	// chunking.
+	const n, p = 200, 10
+	weights := make([]float64, n)
+	for i := range weights {
+		if i < 10 {
+			weights[i] = 10
+		} else {
+			weights[i] = 100.0 / 190
+		}
+	}
+	wr, err := WeightedChunks(weights, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := make([]int32, n)
+	for i := range cr {
+		cr[i] = int32(ChunkOf(i, n, p))
+	}
+	wImb := Imbalance(ChunkWeights(weights, wr, p))
+	cImb := Imbalance(ChunkWeights(weights, cr, p))
+	if wImb >= cImb {
+		t.Fatalf("weighted imbalance %f >= count imbalance %f", wImb, cImb)
+	}
+	if wImb > 1.5 {
+		t.Errorf("weighted imbalance %f too high", wImb)
+	}
+}
+
+func TestWeightedChunksZeroTotal(t *testing.T) {
+	ranks, err := WeightedChunks(make([]float64, 20), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Falls back to count chunks: 5 per rank.
+	counts := map[int32]int{}
+	for _, r := range ranks {
+		counts[r]++
+	}
+	for r := int32(0); r < 4; r++ {
+		if counts[r] != 5 {
+			t.Fatalf("rank %d has %d elements", r, counts[r])
+		}
+	}
+}
+
+func TestWeightedChunksErrors(t *testing.T) {
+	if _, err := WeightedChunks(nil, 3); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := WeightedChunks([]float64{1}, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := WeightedChunks([]float64{1, -1}, 2); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{2, 2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect balance = %f", got)
+	}
+	if got := Imbalance([]float64{4, 0, 2}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("imbalance = %f, want 2", got)
+	}
+	if Imbalance(nil) != 0 || Imbalance([]float64{0, 0}) != 0 {
+		t.Error("degenerate imbalance nonzero")
+	}
+}
+
+func TestWeightedChunksSingleProcessor(t *testing.T) {
+	ranks, err := WeightedChunks([]float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranks {
+		if r != 0 {
+			t.Fatalf("rank %d on single processor", r)
+		}
+	}
+}
+
+func TestWeightedChunksMoreProcsThanElements(t *testing.T) {
+	ranks, err := WeightedChunks([]float64{5, 5, 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int32(-1)
+	for _, r := range ranks {
+		if r <= prev {
+			t.Fatalf("ranks %v not strictly increasing with spare processors", ranks)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,105 @@
+package primitives
+
+import (
+	"fmt"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/topology"
+)
+
+// Profile formalizes the §VII workflow: an application's per-timestep
+// communication demand expressed as a weighted mix of primitives (plus
+// optional data volumes), evaluated against candidate topologies or
+// processor-order placements before any implementation work.
+type Profile struct {
+	// Entries are the application's communication phases.
+	Entries []ProfileEntry
+}
+
+// ProfileEntry weights one primitive within the application profile.
+type ProfileEntry struct {
+	// Name labels the phase ("halo exchange", "global reduce", ...).
+	Name string
+	// Run computes the phase's accumulator on a topology.
+	Run func(topology.Topology) acd.Accumulator
+	// Weight is the phase's share of the application's message count
+	// (any positive scale; weights are normalized internally).
+	Weight float64
+	// BytesPerMessage optionally weights the phase by data volume
+	// (future-work item i); 0 means count messages only.
+	BytesPerMessage float64
+}
+
+// Validate checks the profile is usable.
+func (p Profile) Validate() error {
+	if len(p.Entries) == 0 {
+		return fmt.Errorf("primitives: empty profile")
+	}
+	var total float64
+	for i, e := range p.Entries {
+		if e.Run == nil {
+			return fmt.Errorf("primitives: entry %d (%s) has no Run", i, e.Name)
+		}
+		if e.Weight < 0 || e.BytesPerMessage < 0 {
+			return fmt.Errorf("primitives: entry %d (%s) has negative weight", i, e.Name)
+		}
+		total += e.Weight
+	}
+	if total == 0 {
+		return fmt.Errorf("primitives: profile has zero total weight")
+	}
+	return nil
+}
+
+// Evaluate returns the profile's expected hops per message on the
+// topology: the weighted mean of the entries' ACDs. When an entry
+// carries BytesPerMessage, its contribution is volume-weighted.
+func (p Profile) Evaluate(topo topology.Topology) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	var weighted acd.WeightedAccumulator
+	for _, e := range p.Entries {
+		if e.Weight == 0 {
+			continue
+		}
+		accum := e.Run(topo)
+		bytesPer := e.BytesPerMessage
+		if bytesPer == 0 {
+			bytesPer = 1
+		}
+		// Scale the phase so its share of total traffic matches Weight
+		// regardless of how many raw events the primitive generates.
+		if accum.Count == 0 {
+			continue
+		}
+		scale := e.Weight * bytesPer / float64(accum.Count)
+		weighted.Merge(acd.WeightedAccumulator{
+			WeightedSum: float64(accum.Sum) * scale,
+			Weight:      float64(accum.Count) * scale,
+			Events:      accum.Count,
+		})
+	}
+	return weighted.ACD(), nil
+}
+
+// Best evaluates the profile on every candidate and returns the index
+// of the cheapest along with all scores.
+func (p Profile) Best(candidates []topology.Topology) (int, []float64, error) {
+	if len(candidates) == 0 {
+		return 0, nil, fmt.Errorf("primitives: no candidate topologies")
+	}
+	scores := make([]float64, len(candidates))
+	best := 0
+	for i, topo := range candidates {
+		score, err := p.Evaluate(topo)
+		if err != nil {
+			return 0, nil, err
+		}
+		scores[i] = score
+		if score < scores[best] {
+			best = i
+		}
+	}
+	return best, scores, nil
+}

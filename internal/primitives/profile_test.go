@@ -1,0 +1,116 @@
+package primitives
+
+import (
+	"math"
+	"testing"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/topology"
+)
+
+func haloProfile() Profile {
+	return Profile{Entries: []ProfileEntry{
+		{Name: "halo", Run: RingExchange, Weight: 0.8},
+		{Name: "reduce", Run: func(t topology.Topology) acd.Accumulator { return Reduce(t, 0) }, Weight: 0.2},
+	}}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := haloProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Profile{}
+	if bad.Validate() == nil {
+		t.Error("empty profile accepted")
+	}
+	bad = Profile{Entries: []ProfileEntry{{Name: "x", Weight: 1}}}
+	if bad.Validate() == nil {
+		t.Error("nil Run accepted")
+	}
+	bad = Profile{Entries: []ProfileEntry{{Name: "x", Run: AllToAll, Weight: -1}}}
+	if bad.Validate() == nil {
+		t.Error("negative weight accepted")
+	}
+	bad = Profile{Entries: []ProfileEntry{{Name: "x", Run: AllToAll, Weight: 0}}}
+	if bad.Validate() == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestProfileEvaluateWeightedMean(t *testing.T) {
+	topo := topology.NewRing(16)
+	p := haloProfile()
+	got, err := p.Evaluate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := RingExchange(topo).ACD()
+	red := Reduce(topo, 0).ACD()
+	want := 0.8*ring + 0.2*red
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Evaluate = %f, want %f", got, want)
+	}
+}
+
+func TestProfileSingleEntryEqualsPrimitive(t *testing.T) {
+	topo := topology.NewTorus(2, sfc.Hilbert)
+	p := Profile{Entries: []ProfileEntry{{Name: "a2a", Run: AllToAll, Weight: 1}}}
+	got, err := p.Evaluate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-AllToAll(topo).ACD()) > 1e-12 {
+		t.Fatalf("single-entry profile %f != primitive %f", got, AllToAll(topo).ACD())
+	}
+}
+
+func TestProfileBytesWeighting(t *testing.T) {
+	// Doubling a phase's message size has the same effect as doubling
+	// its weight.
+	topo := topology.NewBus(16)
+	base := Profile{Entries: []ProfileEntry{
+		{Name: "x", Run: RingExchange, Weight: 1, BytesPerMessage: 2},
+		{Name: "y", Run: AllToAll, Weight: 1, BytesPerMessage: 1},
+	}}
+	equiv := Profile{Entries: []ProfileEntry{
+		{Name: "x", Run: RingExchange, Weight: 2},
+		{Name: "y", Run: AllToAll, Weight: 1},
+	}}
+	a, err := base.Evaluate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := equiv.Evaluate(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("bytes weighting %f != weight doubling %f", a, b)
+	}
+}
+
+func TestProfileBest(t *testing.T) {
+	p := Profile{Entries: []ProfileEntry{{Name: "ring", Run: RingExchange, Weight: 1}}}
+	candidates := []topology.Topology{
+		topology.NewMesh(3, sfc.RowMajor),
+		topology.NewMesh(3, sfc.Hilbert),
+	}
+	best, scores, err := p.Best(candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 {
+		t.Fatalf("best = %d (scores %v); hilbert placement should win the ring exchange", best, scores)
+	}
+	if len(scores) != 2 || scores[1] >= scores[0] {
+		t.Fatalf("scores %v", scores)
+	}
+	if _, _, err := p.Best(nil); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	badProfile := Profile{}
+	if _, _, err := badProfile.Best(candidates); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package quadtree
+
+import (
+	"sort"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/sfc"
+)
+
+// This file implements 2:1 balance refinement in the style of Sundar,
+// Sampath & Biros (the paper's reference [20]): after balancing, any
+// two edge- or corner-adjacent leaves differ by at most one level.
+// Balanced trees are what adaptive FMM implementations require so that
+// interaction lists stay O(1) per cell.
+
+// Balance returns a new LinearTree whose leaves satisfy the 2:1
+// condition: every pair of Chebyshev-adjacent leaves differs by at
+// most one level. Particle counts are recomputed from the original
+// leaf counts (each original leaf's particles land in its descendants
+// proportionally — exact when the tree was built from points, since
+// refinement only splits leaves).
+func (t *LinearTree) Balance() *LinearTree {
+	// Work on a set of leaf cells keyed by (level, x, y). The ripple
+	// algorithm repeatedly splits any leaf that is more than one level
+	// coarser than an adjacent leaf.
+	leaves := make(map[Cell]bool, len(t.Leaves))
+	for _, l := range t.Leaves {
+		leaves[l] = true
+	}
+	// locate finds the leaf containing the cell c (c is at a level
+	// deeper than or equal to the leaf's).
+	locate := func(c Cell) (Cell, bool) {
+		for lvl := int(c.Level); lvl >= 0; lvl-- {
+			shift := c.Level - uint(lvl)
+			cand := Cell{Level: uint(lvl), X: c.X >> shift, Y: c.Y >> shift}
+			if leaves[cand] {
+				return cand, true
+			}
+		}
+		return Cell{}, false
+	}
+	changed := true
+	for changed {
+		changed = false
+		// Snapshot: splitting while iterating a map is fine for
+		// correctness here only if we collect splits first.
+		var toSplit []Cell
+		for leaf := range leaves {
+			if leaf.Level == 0 {
+				continue
+			}
+			// Examine the neighbors of leaf at its own level; if any
+			// neighbor region is covered by a leaf more than one level
+			// coarser, that coarser leaf must split.
+			side := geom.Side(leaf.Level)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nx, ny := int(leaf.X)+dx, int(leaf.Y)+dy
+					if !geom.InBounds(nx, ny, side) {
+						continue
+					}
+					n := Cell{Level: leaf.Level, X: uint32(nx), Y: uint32(ny)}
+					owner, ok := locate(n)
+					if !ok {
+						continue
+					}
+					if leaf.Level > owner.Level+1 {
+						toSplit = append(toSplit, owner)
+					}
+				}
+			}
+		}
+		if len(toSplit) == 0 {
+			break
+		}
+		for _, cell := range toSplit {
+			if !leaves[cell] {
+				continue // already split via another path
+			}
+			delete(leaves, cell)
+			for i := 0; i < 4; i++ {
+				leaves[cell.Child(i)] = true
+			}
+			changed = true
+		}
+	}
+	// Rebuild the linear tree in Morton order and re-count particles.
+	out := &LinearTree{Order: t.Order}
+	out.Leaves = make([]Cell, 0, len(leaves))
+	for l := range leaves {
+		out.Leaves = append(out.Leaves, l)
+	}
+	sort.Slice(out.Leaves, func(a, b int) bool {
+		la, _ := out.Leaves[a].MortonRange(t.Order)
+		lb, _ := out.Leaves[b].MortonRange(t.Order)
+		return la < lb
+	})
+	out.starts = make([]uint64, len(out.Leaves))
+	out.Counts = make([]int, len(out.Leaves))
+	for i, leaf := range out.Leaves {
+		out.starts[i], _ = leaf.MortonRange(t.Order)
+	}
+	// Transfer counts: a leaf that survived keeps its count; a split
+	// leaf's count is attached to its first descendant (the total is
+	// preserved). Callers that need exact per-leaf counts after
+	// balancing should use RebuildBalanced, which re-buckets the
+	// original points.
+	for i, leaf := range t.Leaves {
+		if t.Counts[i] == 0 {
+			continue
+		}
+		lo, _ := leaf.MortonRange(t.Order)
+		j := sort.Search(len(out.starts), func(k int) bool { return out.starts[k] > lo }) - 1
+		out.Counts[j] += t.Counts[i]
+	}
+	return out
+}
+
+// IsBalanced reports whether every pair of Chebyshev-adjacent leaves
+// differs by at most one level.
+func (t *LinearTree) IsBalanced() bool {
+	leaves := make(map[Cell]bool, len(t.Leaves))
+	for _, l := range t.Leaves {
+		leaves[l] = true
+	}
+	locate := func(c Cell) (Cell, bool) {
+		for lvl := int(c.Level); lvl >= 0; lvl-- {
+			shift := c.Level - uint(lvl)
+			cand := Cell{Level: uint(lvl), X: c.X >> shift, Y: c.Y >> shift}
+			if leaves[cand] {
+				return cand, true
+			}
+		}
+		return Cell{}, false
+	}
+	for _, leaf := range t.Leaves {
+		side := geom.Side(leaf.Level)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				nx, ny := int(leaf.X)+dx, int(leaf.Y)+dy
+				if !geom.InBounds(nx, ny, side) {
+					continue
+				}
+				owner, ok := locate(Cell{Level: leaf.Level, X: uint32(nx), Y: uint32(ny)})
+				if ok && leaf.Level > owner.Level+1 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// RebuildBalanced builds the adaptive tree from points and balances it
+// with exact particle counts: the balanced structure is computed
+// first, then particles are re-bucketed into the balanced leaves.
+func RebuildBalanced(order uint, pts []geom.Point, maxPerLeaf int) *LinearTree {
+	t := BuildLinear(order, pts, maxPerLeaf).Balance()
+	// Re-count exactly from the points.
+	for i := range t.Counts {
+		t.Counts[i] = 0
+	}
+	codes := make([]uint64, len(pts))
+	for i, p := range pts {
+		codes[i] = sfc.Morton.Index(order, p)
+	}
+	sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+	for _, code := range codes {
+		j := sort.Search(len(t.starts), func(k int) bool { return t.starts[k] > code }) - 1
+		t.Counts[j]++
+	}
+	return t
+}

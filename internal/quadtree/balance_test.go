@@ -1,0 +1,136 @@
+package quadtree
+
+import (
+	"testing"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+)
+
+func TestBalanceProducesBalancedPartition(t *testing.T) {
+	// A tight cluster at the domain center: the deep leaves it forces
+	// sit directly against the huge empty quadrant leaves across the
+	// center lines — a maximal 2:1 violation. (A corner cluster would
+	// not do: its refinement rings already step down one level at a
+	// time.)
+	const order = 8
+	pts := []geom.Point{
+		geom.Pt(128, 128), geom.Pt(129, 129),
+	}
+	tree := BuildLinear(order, pts, 1)
+	if tree.IsBalanced() {
+		t.Fatal("expected the raw cluster tree to violate 2:1")
+	}
+	bal := tree.Balance()
+	if !bal.IsBalanced() {
+		t.Fatal("Balance did not produce a 2:1 tree")
+	}
+	// Still a partition of the domain.
+	var pos uint64
+	for i, leaf := range bal.Leaves {
+		lo, hi := leaf.MortonRange(order)
+		if lo != pos {
+			t.Fatalf("leaf %d starts at %d, want %d", i, lo, pos)
+		}
+		pos = hi
+	}
+	if pos != geom.Cells(order) {
+		t.Fatalf("leaves cover %d codes", pos)
+	}
+	// Balancing only refines: every balanced leaf is contained in some
+	// original leaf.
+	for _, nl := range bal.Leaves {
+		found := false
+		for _, ol := range tree.Leaves {
+			if ol.Contains(nl) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("balanced leaf %v not a refinement of the original", nl)
+		}
+	}
+	// Total particle count preserved.
+	if bal.TotalParticles() != tree.TotalParticles() {
+		t.Fatalf("counts changed: %d vs %d", bal.TotalParticles(), tree.TotalParticles())
+	}
+}
+
+func TestBalanceIdempotentOnBalancedTree(t *testing.T) {
+	const order = 6
+	r := rng.New(1)
+	pts, err := dist.SampleUnique(dist.Uniform, r, order, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := BuildLinear(order, pts, 4)
+	bal := tree.Balance()
+	again := bal.Balance()
+	if len(again.Leaves) != len(bal.Leaves) {
+		t.Fatalf("rebalancing changed leaf count: %d vs %d", len(again.Leaves), len(bal.Leaves))
+	}
+	for i := range bal.Leaves {
+		if bal.Leaves[i] != again.Leaves[i] {
+			t.Fatalf("rebalancing changed leaf %d", i)
+		}
+	}
+}
+
+func TestUniformTreeAlreadyBalanced(t *testing.T) {
+	// Uniform input yields nearly uniform leaves; small instances are
+	// already 2:1.
+	tree := BuildLinear(4, nil, 1)
+	if !tree.IsBalanced() {
+		t.Fatal("single-leaf tree unbalanced")
+	}
+	if got := tree.Balance(); len(got.Leaves) != 1 {
+		t.Fatalf("balancing the root split it: %v", got.Leaves)
+	}
+}
+
+func TestRebuildBalancedExactCounts(t *testing.T) {
+	const order = 7
+	r := rng.New(3)
+	pts, err := dist.SampleUnique(dist.Exponential, r, order, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal := RebuildBalanced(order, pts, 4)
+	if !bal.IsBalanced() {
+		t.Fatal("RebuildBalanced not balanced")
+	}
+	if bal.TotalParticles() != len(pts) {
+		t.Fatalf("total %d, want %d", bal.TotalParticles(), len(pts))
+	}
+	// Every particle is counted in the leaf that contains it.
+	for _, p := range pts {
+		i := bal.Locate(p)
+		if !bal.Leaves[i].ContainsPoint(order, p) {
+			t.Fatalf("Locate(%v) wrong leaf", p)
+		}
+		if bal.Counts[i] == 0 {
+			t.Fatalf("leaf containing %v has zero count", p)
+		}
+	}
+}
+
+func TestBalanceRipplePropagates(t *testing.T) {
+	// A single deep leaf forces a cascade of splits across the domain:
+	// after balancing, leaf levels step down gradually away from the
+	// cluster (the classic ripple effect).
+	const order = 6
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}
+	bal := BuildLinear(order, pts, 1).Balance()
+	if !bal.IsBalanced() {
+		t.Fatal("not balanced")
+	}
+	// The leaf containing the far corner must still be coarse, but not
+	// more than a gradual number of levels away given the ripple.
+	far := bal.Leaves[bal.Locate(geom.Pt(63, 63))]
+	deep := bal.Leaves[bal.Locate(geom.Pt(0, 0))]
+	if deep.Level <= far.Level {
+		t.Fatalf("cluster leaf (%d) not deeper than far leaf (%d)", deep.Level, far.Level)
+	}
+}

@@ -1,0 +1,211 @@
+package quadtree
+
+import (
+	"testing"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+)
+
+func TestCellRelations(t *testing.T) {
+	c := Cell{Level: 2, X: 1, Y: 2}
+	if p := c.Parent(); p != (Cell{Level: 1, X: 0, Y: 1}) {
+		t.Fatalf("parent = %v", p)
+	}
+	for i := 0; i < 4; i++ {
+		ch := c.Child(i)
+		if ch.Parent() != c {
+			t.Fatalf("child %d's parent is %v", i, ch.Parent())
+		}
+		if !c.Contains(ch) {
+			t.Fatalf("cell does not contain child %d", i)
+		}
+	}
+	if !c.Contains(c) {
+		t.Error("cell does not contain itself")
+	}
+	if c.Contains(c.Parent()) {
+		t.Error("cell contains its parent")
+	}
+	if Root.Contains(c) != true {
+		t.Error("root does not contain descendant")
+	}
+	other := Cell{Level: 2, X: 2, Y: 2}
+	if c.Contains(other) || other.Contains(c) {
+		t.Error("disjoint cells claim containment")
+	}
+}
+
+func TestCellPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Root.Parent() },
+		func() { Root.Child(4) },
+		func() { Root.Child(-1) },
+		func() { (Cell{Level: 5}).MortonRange(3) },
+		func() { (Cell{Level: 5}).ContainsPoint(3, geom.Pt(0, 0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	const order = 4
+	c := Cell{Level: 2, X: 3, Y: 0}
+	// At order 4, this cell covers x in [12,16), y in [0,4).
+	if !c.ContainsPoint(order, geom.Pt(12, 0)) || !c.ContainsPoint(order, geom.Pt(15, 3)) {
+		t.Error("cell should contain its corners")
+	}
+	if c.ContainsPoint(order, geom.Pt(11, 0)) || c.ContainsPoint(order, geom.Pt(12, 4)) {
+		t.Error("cell contains outside points")
+	}
+}
+
+func TestMortonRange(t *testing.T) {
+	const order = 3
+	lo, hi := Root.MortonRange(order)
+	if lo != 0 || hi != 64 {
+		t.Fatalf("root range [%d,%d)", lo, hi)
+	}
+	// Children partition the parent's range in order.
+	c := Cell{Level: 1, X: 1, Y: 0}
+	clo, chi := c.MortonRange(order)
+	if chi-clo != 16 {
+		t.Fatalf("level-1 cell covers %d codes", chi-clo)
+	}
+	prev := clo
+	for i := 0; i < 4; i++ {
+		glo, ghi := c.Child(i).MortonRange(order)
+		if glo != prev {
+			t.Fatalf("child %d starts at %d, want %d", i, glo, prev)
+		}
+		prev = ghi
+	}
+	if prev != chi {
+		t.Fatalf("children end at %d, want %d", prev, chi)
+	}
+}
+
+func TestBuildLinearPartition(t *testing.T) {
+	const order = 6
+	r := rng.New(1)
+	pts, err := dist.SampleUnique(dist.Exponential, r, order, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := BuildLinear(order, pts, 8)
+	// Leaves must partition the domain: disjoint Morton ranges covering
+	// [0, 4^order).
+	var pos uint64
+	for i, leaf := range tree.Leaves {
+		lo, hi := leaf.MortonRange(order)
+		if lo != pos {
+			t.Fatalf("leaf %d starts at %d, want %d", i, lo, pos)
+		}
+		pos = hi
+	}
+	if pos != geom.Cells(order) {
+		t.Fatalf("leaves cover %d codes", pos)
+	}
+	// Counts respect the limit away from the finest level, and total to
+	// the particle count.
+	for i, leaf := range tree.Leaves {
+		if leaf.Level < order && tree.Counts[i] > 8 {
+			t.Fatalf("leaf %d (level %d) holds %d > 8 particles", i, leaf.Level, tree.Counts[i])
+		}
+	}
+	if tree.TotalParticles() != len(pts) {
+		t.Fatalf("total particles %d, want %d", tree.TotalParticles(), len(pts))
+	}
+}
+
+func TestBuildLinearLocate(t *testing.T) {
+	const order = 5
+	r := rng.New(2)
+	pts, err := dist.SampleUnique(dist.Normal, r, order, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := BuildLinear(order, pts, 4)
+	for _, p := range pts {
+		i := tree.Locate(p)
+		if i < 0 || i >= len(tree.Leaves) {
+			t.Fatalf("Locate(%v) = %d", p, i)
+		}
+		if !tree.Leaves[i].ContainsPoint(order, p) {
+			t.Fatalf("Locate(%v) leaf %v does not contain it", p, tree.Leaves[i])
+		}
+	}
+	// Also arbitrary (possibly empty) cells.
+	for _, p := range []geom.Point{geom.Pt(0, 0), geom.Pt(31, 31), geom.Pt(16, 7)} {
+		i := tree.Locate(p)
+		if !tree.Leaves[i].ContainsPoint(order, p) {
+			t.Fatalf("Locate(%v) wrong leaf", p)
+		}
+	}
+}
+
+func TestBuildLinearAdaptiveDepth(t *testing.T) {
+	// A tight cluster forces deep refinement; sparse areas stay coarse.
+	const order = 8
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(1, 1), // tight corner cluster
+		geom.Pt(200, 200), // lone far particle
+	}
+	tree := BuildLinear(order, pts, 1)
+	if tree.Depth() < 7 {
+		t.Fatalf("cluster should force depth >= 7, got %d", tree.Depth())
+	}
+	// The lone particle's leaf should be coarse.
+	i := tree.Locate(geom.Pt(200, 200))
+	if tree.Leaves[i].Level > 2 {
+		t.Errorf("lone particle leaf at level %d, expected coarse", tree.Leaves[i].Level)
+	}
+}
+
+func TestBuildLinearSingleLeaf(t *testing.T) {
+	tree := BuildLinear(4, []geom.Point{geom.Pt(3, 3)}, 4)
+	if len(tree.Leaves) != 1 || tree.Leaves[0] != Root {
+		t.Fatalf("tree over 1 particle = %v", tree.Leaves)
+	}
+}
+
+func TestBuildLinearEmpty(t *testing.T) {
+	tree := BuildLinear(4, nil, 2)
+	if len(tree.Leaves) != 1 || tree.TotalParticles() != 0 {
+		t.Fatalf("empty tree = %v", tree.Leaves)
+	}
+}
+
+func TestBuildLinearMaxPerLeafPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxPerLeaf=0 did not panic")
+		}
+	}()
+	BuildLinear(4, nil, 0)
+}
+
+func TestBuildLinearDuplicatePointsAtFinest(t *testing.T) {
+	// Duplicates cannot be split apart; the finest level must absorb
+	// them without infinite recursion.
+	pts := []geom.Point{geom.Pt(5, 5), geom.Pt(5, 5), geom.Pt(5, 5)}
+	tree := BuildLinear(3, pts, 1)
+	i := tree.Locate(geom.Pt(5, 5))
+	if tree.Leaves[i].Level != 3 || tree.Counts[i] != 3 {
+		t.Fatalf("duplicate leaf %v count %d", tree.Leaves[i], tree.Counts[i])
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if s := (Cell{Level: 2, X: 1, Y: 3}).String(); s != "L2(1,3)" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,159 @@
+package quadtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+)
+
+// TestQuickLinearTreePartition: for random point sets, the adaptive
+// tree is always a partition, counts always total, and Locate is
+// always right.
+func TestQuickLinearTreePartition(t *testing.T) {
+	f := func(seed uint64, nRaw, leafRaw uint8) bool {
+		const order = 6
+		n := int(nRaw)%200 + 1
+		maxLeaf := int(leafRaw)%8 + 1
+		pts, err := dist.SampleUnique(dist.Uniform, rng.New(seed), order, n)
+		if err != nil {
+			return false
+		}
+		tree := BuildLinear(order, pts, maxLeaf)
+		var pos uint64
+		for _, leaf := range tree.Leaves {
+			lo, hi := leaf.MortonRange(order)
+			if lo != pos {
+				return false
+			}
+			pos = hi
+		}
+		if pos != geom.Cells(order) {
+			return false
+		}
+		if tree.TotalParticles() != n {
+			return false
+		}
+		for _, p := range pts {
+			if !tree.Leaves[tree.Locate(p)].ContainsPoint(order, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBalancePreservesPartitionAndCounts: balancing any random
+// tree keeps the partition, the 2:1 condition, and the particle total.
+func TestQuickBalancePreservesPartitionAndCounts(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		const order = 6
+		n := int(nRaw)%60 + 1
+		pts, err := dist.SampleUnique(dist.Exponential, rng.New(seed), order, n)
+		if err != nil {
+			return false
+		}
+		tree := BuildLinear(order, pts, 1)
+		bal := tree.Balance()
+		if !bal.IsBalanced() {
+			return false
+		}
+		var pos uint64
+		for _, leaf := range bal.Leaves {
+			lo, hi := leaf.MortonRange(order)
+			if lo != pos {
+				return false
+			}
+			pos = hi
+		}
+		return pos == geom.Cells(order) && bal.TotalParticles() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCellAlgebra: Parent/Child/Contains satisfy their defining
+// identities for random cells.
+func TestQuickCellAlgebra(t *testing.T) {
+	f := func(levelRaw, xRaw, yRaw uint16, child uint8) bool {
+		level := uint(levelRaw%8) + 1
+		side := geom.Side(level)
+		c := Cell{Level: level, X: uint32(xRaw) % side, Y: uint32(yRaw) % side}
+		ch := c.Child(int(child % 4))
+		if ch.Parent() != c || !c.Contains(ch) || ch.Contains(c) {
+			return false
+		}
+		if !c.Parent().Contains(c) {
+			return false
+		}
+		// Sibling cells never contain each other.
+		for i := 0; i < 4; i++ {
+			s := c.Parent().Child(i)
+			if s != c && (s.Contains(c) || c.Contains(s)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRankTreeMinProperty: for random particle/rank sets, every
+// cell's representative is the minimum rank among the particles it
+// contains, at every level.
+func TestQuickRankTreeMinProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Uint64())
+			vals[1] = reflect.ValueOf(uint8(r.Intn(64)))
+		},
+	}
+	f := func(seed uint64, nRaw uint8) bool {
+		const order = 4
+		n := int(nRaw)%50 + 1
+		pts, err := dist.SampleUnique(dist.Uniform, rng.New(seed), order, n)
+		if err != nil {
+			return false
+		}
+		ranks := make([]int32, n)
+		rr := rng.New(seed ^ 0xABCD)
+		for i := range ranks {
+			ranks[i] = int32(rr.Intn(16))
+		}
+		tree := BuildRankTree(order, pts, ranks)
+		for level := uint(0); level <= order; level++ {
+			shift := order - level
+			side := geom.Side(level)
+			for y := uint32(0); y < side; y++ {
+				for x := uint32(0); x < side; x++ {
+					want := int32(-1)
+					for i, p := range pts {
+						if p.X>>shift == x && p.Y>>shift == y {
+							if want == -1 || ranks[i] < want {
+								want = ranks[i]
+							}
+						}
+					}
+					if tree.Rep(level, x, y) != want {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

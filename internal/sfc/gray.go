@@ -1,0 +1,38 @@
+package sfc
+
+import "sfcacd/internal/geom"
+
+// grayCurve implements the Gray order: points are visited in the order
+// in which their Z-curve (Morton) codes appear in the binary reflected
+// Gray code sequence. Equivalently, the index of a point is the Gray
+// decoding (rank) of its Morton code, and the point at index d has
+// Morton code GrayEncode(d).
+type grayCurve struct{}
+
+func (grayCurve) Name() string { return "gray" }
+
+// GrayEncode returns the binary reflected Gray code of v.
+func GrayEncode(v uint64) uint64 { return v ^ (v >> 1) }
+
+// GrayDecode returns the rank of the Gray codeword g, inverting
+// GrayEncode.
+func GrayDecode(g uint64) uint64 {
+	g ^= g >> 1
+	g ^= g >> 2
+	g ^= g >> 4
+	g ^= g >> 8
+	g ^= g >> 16
+	g ^= g >> 32
+	return g
+}
+
+func (grayCurve) Index(order uint, p geom.Point) uint64 {
+	checkPoint(order, p)
+	return GrayDecode(mortonEncode(p.X, p.Y))
+}
+
+func (grayCurve) Point(order uint, d uint64) geom.Point {
+	checkIndex(order, d)
+	x, y := mortonDecode(GrayEncode(d))
+	return geom.Point{X: x, Y: y}
+}

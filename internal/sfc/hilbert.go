@@ -1,0 +1,59 @@
+package sfc
+
+import "sfcacd/internal/geom"
+
+// hilbertCurve implements the discrete Hilbert curve H_k using the
+// standard iterative bit-manipulation algorithm (rotate-and-reflect per
+// scale). It is far cheaper than the recursive construction; the
+// recursive construction in recursive.go is used by tests to validate
+// this implementation.
+type hilbertCurve struct{}
+
+func (hilbertCurve) Name() string { return "hilbert" }
+
+func (hilbertCurve) Index(order uint, p geom.Point) uint64 {
+	checkPoint(order, p)
+	x, y := p.X, p.Y
+	var d uint64
+	for s := geom.Side(order) >> 1; s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s != 0 {
+			rx = 1
+		}
+		if y&s != 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant. Only bits below s remain relevant, so the
+		// reflection complements the low bits in place.
+		if ry == 0 {
+			if rx == 1 {
+				x ^= s - 1
+				y ^= s - 1
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}
+
+func (hilbertCurve) Point(order uint, d uint64) geom.Point {
+	checkIndex(order, d)
+	var x, y uint32
+	t := d
+	for s := uint32(1); s < geom.Side(order); s <<= 1 {
+		rx := uint32(t>>1) & 1
+		ry := uint32(t^(t>>1)) & 1
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t >>= 2
+	}
+	return geom.Point{X: x, Y: y}
+}

@@ -1,0 +1,82 @@
+package sfc
+
+import "sfcacd/internal/geom"
+
+// mooreCurve is the Moore curve: the closed-loop variant of the
+// Hilbert curve (its last cell is adjacent to its first). It is built
+// from four rotated copies of H_{k-1} arranged in a ring — left column
+// traversed upward, right column downward — and is an extension beyond
+// the paper's four curves, useful for ring-like processor labelings
+// where rank p-1 communicates with rank 0.
+type mooreCurve struct{}
+
+// Moore is the closed Hilbert loop extension curve.
+var Moore Curve = mooreCurve{}
+
+func (mooreCurve) Name() string { return "moore" }
+
+// Quadrant visit order: lower-left, upper-left, upper-right,
+// lower-right. The two left quadrants hold H_{k-1} rotated 90° CCW
+// ((x,y) -> (s-1-y, x)), the two right quadrants rotated 90° CW
+// ((x,y) -> (y, s-1-x)).
+
+func (mooreCurve) Index(order uint, p geom.Point) uint64 {
+	checkPoint(order, p)
+	if order == 0 {
+		return 0
+	}
+	s := geom.Side(order - 1)
+	cells := uint64(s) * uint64(s)
+	x, y := p.X, p.Y
+	var quadrant uint64
+	switch {
+	case x < s && y < s:
+		quadrant = 0
+	case x < s: // y >= s
+		quadrant = 1
+		y -= s
+	case y >= s:
+		quadrant = 2
+		x -= s
+		y -= s
+	default:
+		quadrant = 3
+		x -= s
+	}
+	var hx, hy uint32
+	if quadrant < 2 {
+		// Invert the CCW rotation: (hx,hy) -> (s-1-hy, hx) = (x,y).
+		hx, hy = y, s-1-x
+	} else {
+		// Invert the CW rotation: (hx,hy) -> (hy, s-1-hx) = (x,y).
+		hx, hy = s-1-y, x
+	}
+	return quadrant*cells + Hilbert.Index(order-1, geom.Pt(hx, hy))
+}
+
+func (mooreCurve) Point(order uint, d uint64) geom.Point {
+	checkIndex(order, d)
+	if order == 0 {
+		return geom.Pt(0, 0)
+	}
+	s := geom.Side(order - 1)
+	cells := uint64(s) * uint64(s)
+	quadrant := d / cells
+	h := Hilbert.Point(order-1, d%cells)
+	var x, y uint32
+	if quadrant < 2 {
+		x, y = s-1-h.Y, h.X
+	} else {
+		x, y = h.Y, s-1-h.X
+	}
+	switch quadrant {
+	case 1:
+		y += s
+	case 2:
+		x += s
+		y += s
+	case 3:
+		x += s
+	}
+	return geom.Pt(x, y)
+}

@@ -1,0 +1,68 @@
+package sfc
+
+import (
+	"testing"
+
+	"sfcacd/internal/geom"
+)
+
+func TestMooreRoundTrip(t *testing.T) {
+	for order := uint(0); order <= 5; order++ {
+		n := geom.Cells(order)
+		seen := make(map[geom.Point]bool, n)
+		for d := uint64(0); d < n; d++ {
+			p := Moore.Point(order, d)
+			if seen[p] {
+				t.Fatalf("order %d: cell %v visited twice", order, p)
+			}
+			seen[p] = true
+			if got := Moore.Index(order, p); got != d {
+				t.Fatalf("order %d: Index(Point(%d)) = %d", order, d, got)
+			}
+		}
+	}
+}
+
+func TestMooreUnitSteps(t *testing.T) {
+	for order := uint(1); order <= 6; order++ {
+		prev := Moore.Point(order, 0)
+		for d := uint64(1); d < geom.Cells(order); d++ {
+			p := Moore.Point(order, d)
+			if geom.Manhattan(prev, p) != 1 {
+				t.Fatalf("order %d: step %d jumps from %v to %v", order, d, prev, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestMooreIsClosed(t *testing.T) {
+	// The defining Moore property: the loop closes — the last cell is
+	// adjacent to the first.
+	for order := uint(1); order <= 6; order++ {
+		first := Moore.Point(order, 0)
+		last := Moore.Point(order, geom.Cells(order)-1)
+		if geom.Manhattan(first, last) != 1 {
+			t.Fatalf("order %d: endpoints %v and %v not adjacent", order, first, last)
+		}
+	}
+}
+
+func TestMooreName(t *testing.T) {
+	if Moore.Name() != "moore" {
+		t.Errorf("name %q", Moore.Name())
+	}
+	c, err := ByName("moore")
+	if err != nil || c.Name() != "moore" {
+		t.Errorf("ByName(moore) = %v, %v", c, err)
+	}
+}
+
+func TestMoorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-grid point accepted")
+		}
+	}()
+	Moore.Index(2, geom.Pt(4, 0))
+}

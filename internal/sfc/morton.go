@@ -1,0 +1,56 @@
+package sfc
+
+import "sfcacd/internal/geom"
+
+// mortonCurve implements the Z-curve (Morton 1966): the index is the
+// bitwise interleaving of the two coordinates. The recursive view —
+// four copies of Z_k composed without rotation — is validated against
+// this bit-twiddling form in tests.
+type mortonCurve struct{}
+
+func (mortonCurve) Name() string { return "morton" }
+
+// part1by1 spreads the 32 bits of v to the even bit positions of a
+// 64-bit word.
+func part1by1(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compact1by1 inverts part1by1, gathering the even bits of x.
+func compact1by1(x uint64) uint32 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return uint32(x)
+}
+
+// mortonEncode interleaves (x, y) with y in the odd (higher) positions,
+// so the curve traces the familiar "Z" within each 2x2 block.
+func mortonEncode(x, y uint32) uint64 {
+	return part1by1(x) | part1by1(y)<<1
+}
+
+// mortonDecode inverts mortonEncode.
+func mortonDecode(d uint64) (x, y uint32) {
+	return compact1by1(d), compact1by1(d >> 1)
+}
+
+func (mortonCurve) Index(order uint, p geom.Point) uint64 {
+	checkPoint(order, p)
+	return mortonEncode(p.X, p.Y)
+}
+
+func (mortonCurve) Point(order uint, d uint64) geom.Point {
+	checkIndex(order, d)
+	x, y := mortonDecode(d)
+	return geom.Point{X: x, Y: y}
+}

@@ -1,0 +1,117 @@
+package sfc
+
+import (
+	"testing"
+
+	"sfcacd/internal/geom"
+)
+
+func TestGrayNDMatches2DGray(t *testing.T) {
+	g := GrayND{N: 2}
+	const order = 4
+	side := geom.Side(order)
+	coords := make([]uint32, 2)
+	for y := uint32(0); y < side; y++ {
+		for x := uint32(0); x < side; x++ {
+			coords[0], coords[1] = x, y
+			want := Gray.Index(order, geom.Pt(x, y))
+			if got := g.IndexND(order, coords); got != want {
+				t.Fatalf("GrayND(%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestRowMajorNDMatches2DTransposed(t *testing.T) {
+	// RowMajorND{2} has the last coordinate fastest: index =
+	// c0*side + c1, which matches the 2D rowmajor with (x, y) order.
+	r := RowMajorND{N: 2}
+	const order = 3
+	side := geom.Side(order)
+	coords := make([]uint32, 2)
+	for y := uint32(0); y < side; y++ {
+		for x := uint32(0); x < side; x++ {
+			coords[0], coords[1] = x, y
+			want := RowMajor.Index(order, geom.Pt(x, y))
+			if got := r.IndexND(order, coords); got != want {
+				t.Fatalf("RowMajorND(%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestNDExtraRoundTrip(t *testing.T) {
+	for _, c := range []NDCurve{GrayND{N: 3}, RowMajorND{N: 3}, GrayND{N: 2}, RowMajorND{N: 4}} {
+		for order := uint(1); order <= 3; order++ {
+			total := uint64(1) << (uint(c.Dims()) * order)
+			if total > 1<<13 {
+				continue
+			}
+			out := make([]uint32, c.Dims())
+			for d := uint64(0); d < total; d++ {
+				c.CoordsND(order, d, out)
+				if got := c.IndexND(order, out); got != d {
+					t.Fatalf("%s: round trip %d -> %v -> %d", c.Name(), d, out, got)
+				}
+			}
+		}
+	}
+}
+
+func TestGrayNDSuccessiveCodesOneBitApart(t *testing.T) {
+	// The defining Gray property in any dimension: consecutive cells'
+	// Morton codes differ in exactly one bit.
+	g := GrayND{N: 3}
+	m := MortonND{N: 3}
+	const order = 2
+	out := make([]uint32, 3)
+	var prev uint64
+	for d := uint64(0); d < 1<<(3*order); d++ {
+		g.CoordsND(order, d, out)
+		code := m.IndexND(order, out)
+		if d > 0 {
+			diff := code ^ prev
+			if diff == 0 || diff&(diff-1) != 0 {
+				t.Fatalf("step %d: codes differ by %#x", d, diff)
+			}
+		}
+		prev = code
+	}
+}
+
+func TestAllND(t *testing.T) {
+	curves := AllND(3)
+	if len(curves) != 4 {
+		t.Fatalf("AllND(3) has %d curves", len(curves))
+	}
+	names := map[string]bool{}
+	for _, c := range curves {
+		if c.Dims() != 3 {
+			t.Errorf("%s has %d dims", c.Name(), c.Dims())
+		}
+		names[c.Name()] = true
+	}
+	for _, want := range []string{"hilbert3d", "morton3d", "gray3d", "rowmajor3d"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestNDExtraPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { RowMajorND{N: 2}.IndexND(3, []uint32{8, 0}) },         // coord out of range
+		func() { RowMajorND{N: 2}.IndexND(3, []uint32{0}) },            // wrong count
+		func() { RowMajorND{N: 2}.CoordsND(3, 64, make([]uint32, 2)) }, // index out of range
+		func() { GrayND{N: 2}.CoordsND(3, 64, make([]uint32, 2)) },     // index out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

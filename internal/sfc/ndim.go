@@ -1,0 +1,198 @@
+package sfc
+
+import "fmt"
+
+// This file generalizes the curves to n dimensions. The paper's
+// experiments are 2D, but its future-work section (item ii) calls for
+// 3D validation; the ND forms also back the 3D FMM-ready octree work.
+
+// NDCurve maps between n-dimensional cell coordinates and positions
+// along a space-filling curve of a given order (side 2^order per
+// dimension). Implementations must satisfy dims*order <= 63.
+type NDCurve interface {
+	// Name returns the curve's canonical name, e.g. "hilbert3d".
+	Name() string
+	// Dims returns the dimensionality n.
+	Dims() int
+	// IndexND returns the curve position of the cell at coords
+	// (len(coords) == Dims, each < 2^order).
+	IndexND(order uint, coords []uint32) uint64
+	// CoordsND writes the cell at position d into out
+	// (len(out) == Dims).
+	CoordsND(order uint, d uint64, out []uint32)
+}
+
+func checkND(order uint, dims int) {
+	if dims < 1 {
+		panic("sfc: NDCurve with dims < 1")
+	}
+	if uint(dims)*order > 63 {
+		panic(fmt.Sprintf("sfc: dims %d x order %d exceeds 63 index bits", dims, order))
+	}
+}
+
+// --- Morton, n dimensions ---
+
+// MortonND is the n-dimensional Z-curve: bit interleaving across dims.
+type MortonND struct {
+	N int
+}
+
+// Name implements NDCurve.
+func (m MortonND) Name() string { return fmt.Sprintf("morton%dd", m.N) }
+
+// Dims implements NDCurve.
+func (m MortonND) Dims() int { return m.N }
+
+// IndexND implements NDCurve.
+func (m MortonND) IndexND(order uint, coords []uint32) uint64 {
+	checkND(order, m.N)
+	if len(coords) != m.N {
+		panic("sfc: coords length mismatch")
+	}
+	var d uint64
+	for bit := int(order) - 1; bit >= 0; bit-- {
+		for dim := m.N - 1; dim >= 0; dim-- {
+			d = d<<1 | uint64(coords[dim]>>uint(bit))&1
+		}
+	}
+	return d
+}
+
+// CoordsND implements NDCurve.
+func (m MortonND) CoordsND(order uint, d uint64, out []uint32) {
+	checkND(order, m.N)
+	if len(out) != m.N {
+		panic("sfc: out length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	shift := uint(0)
+	for bit := uint(0); bit < order; bit++ {
+		for dim := 0; dim < m.N; dim++ {
+			out[dim] |= uint32(d>>shift&1) << bit
+			shift++
+		}
+	}
+}
+
+// --- Hilbert, n dimensions (Skilling's transpose algorithm) ---
+
+// HilbertND is the n-dimensional Hilbert curve computed with John
+// Skilling's transpose algorithm ("Programming the Hilbert curve",
+// AIP Conf. Proc. 707, 2004). Its 2D orientation differs from the
+// classic H_k by a reflection, which is irrelevant to every metric in
+// this library (all are invariant under grid symmetries).
+type HilbertND struct {
+	N int
+}
+
+// Name implements NDCurve.
+func (h HilbertND) Name() string { return fmt.Sprintf("hilbert%dd", h.N) }
+
+// Dims implements NDCurve.
+func (h HilbertND) Dims() int { return h.N }
+
+// IndexND implements NDCurve.
+func (h HilbertND) IndexND(order uint, coords []uint32) uint64 {
+	checkND(order, h.N)
+	if len(coords) != h.N {
+		panic("sfc: coords length mismatch")
+	}
+	x := make([]uint32, h.N)
+	copy(x, coords)
+	axesToTranspose(x, order)
+	// Interleave the transpose MSB-first: bit b of x[0] is the most
+	// significant of each group of n bits.
+	var d uint64
+	for bit := int(order) - 1; bit >= 0; bit-- {
+		for dim := 0; dim < h.N; dim++ {
+			d = d<<1 | uint64(x[dim]>>uint(bit))&1
+		}
+	}
+	return d
+}
+
+// CoordsND implements NDCurve.
+func (h HilbertND) CoordsND(order uint, d uint64, out []uint32) {
+	checkND(order, h.N)
+	if len(out) != h.N {
+		panic("sfc: out length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	pos := int(order)*h.N - 1
+	for bit := int(order) - 1; bit >= 0; bit-- {
+		for dim := 0; dim < h.N; dim++ {
+			out[dim] |= uint32(d>>uint(pos)&1) << uint(bit)
+			pos--
+		}
+	}
+	transposeToAxes(out, order)
+}
+
+// axesToTranspose converts coordinates in place to the Hilbert
+// transpose representation (Skilling 2004).
+func axesToTranspose(x []uint32, order uint) {
+	n := len(x)
+	if order == 0 {
+		return
+	}
+	m := uint32(1) << (order - 1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose in place.
+func transposeToAxes(x []uint32, order uint) {
+	n := len(x)
+	if order == 0 {
+		return
+	}
+	m := uint32(2) << (order - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package sfc
+
+import (
+	"testing"
+
+	"sfcacd/internal/geom"
+)
+
+func TestMortonNDMatches2D(t *testing.T) {
+	m := MortonND{N: 2}
+	const order = 5
+	side := geom.Side(order)
+	coords := make([]uint32, 2)
+	for y := uint32(0); y < side; y++ {
+		for x := uint32(0); x < side; x++ {
+			coords[0], coords[1] = x, y
+			want := Morton.Index(order, geom.Pt(x, y))
+			if got := m.IndexND(order, coords); got != want {
+				t.Fatalf("MortonND(%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestNDRoundTrip(t *testing.T) {
+	curves := []NDCurve{
+		MortonND{N: 2}, MortonND{N: 3}, MortonND{N: 4},
+		HilbertND{N: 2}, HilbertND{N: 3}, HilbertND{N: 4},
+	}
+	for _, c := range curves {
+		for order := uint(1); order <= 3; order++ {
+			total := uint64(1) << (uint(c.Dims()) * order)
+			out := make([]uint32, c.Dims())
+			seen := make(map[string]bool, total)
+			for d := uint64(0); d < total; d++ {
+				c.CoordsND(order, d, out)
+				key := ""
+				for _, v := range out {
+					if v >= geom.Side(order) {
+						t.Fatalf("%s order %d: coord %d out of range", c.Name(), order, v)
+					}
+					key += string(rune(v)) + ","
+				}
+				if seen[key] {
+					t.Fatalf("%s order %d: duplicate cell at d=%d", c.Name(), order, d)
+				}
+				seen[key] = true
+				if got := c.IndexND(order, out); got != d {
+					t.Fatalf("%s order %d: round trip %d -> %v -> %d", c.Name(), order, d, out, got)
+				}
+			}
+		}
+	}
+}
+
+func TestHilbertNDUnitSteps(t *testing.T) {
+	// Consecutive Hilbert positions differ by 1 in exactly one
+	// coordinate, in any dimension.
+	for _, n := range []int{2, 3, 4} {
+		h := HilbertND{N: n}
+		for order := uint(1); order <= 3; order++ {
+			total := uint64(1) << (uint(n) * order)
+			if total > 1<<14 {
+				continue
+			}
+			prev := make([]uint32, n)
+			cur := make([]uint32, n)
+			h.CoordsND(order, 0, prev)
+			for d := uint64(1); d < total; d++ {
+				h.CoordsND(order, d, cur)
+				dist := 0
+				for i := 0; i < n; i++ {
+					delta := int(cur[i]) - int(prev[i])
+					if delta < 0 {
+						delta = -delta
+					}
+					dist += delta
+				}
+				if dist != 1 {
+					t.Fatalf("hilbert%dd order %d: step %d moves L1 distance %d", n, order, d, dist)
+				}
+				copy(prev, cur)
+			}
+		}
+	}
+}
+
+func TestNDNamesAndDims(t *testing.T) {
+	if (MortonND{N: 3}).Name() != "morton3d" || (HilbertND{N: 3}).Name() != "hilbert3d" {
+		t.Error("unexpected ND names")
+	}
+	if (MortonND{N: 3}).Dims() != 3 || (HilbertND{N: 4}).Dims() != 4 {
+		t.Error("unexpected dims")
+	}
+}
+
+func TestNDPanics(t *testing.T) {
+	cases := []func(){
+		func() { MortonND{N: 2}.IndexND(40, []uint32{0, 0}) },     // too many bits
+		func() { MortonND{N: 2}.IndexND(3, []uint32{0}) },         // wrong coord count
+		func() { HilbertND{N: 2}.CoordsND(3, 0, []uint32{0}) },    // wrong out count
+		func() { MortonND{N: 0}.IndexND(3, nil) },                 // bad dims
+		func() { HilbertND{N: 3}.IndexND(22, []uint32{0, 0, 0}) }, // 66 bits
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

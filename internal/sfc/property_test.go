@@ -1,0 +1,178 @@
+package sfc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sfcacd/internal/geom"
+)
+
+// quickCfg draws coordinates that fit the order under test.
+func quickCfg(order uint) *quick.Config {
+	side := int64(geom.Side(order))
+	return &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(uint32(r.Int63n(side)))
+			}
+		},
+	}
+}
+
+// TestQuickCurveBijectionHighOrder round-trips random points at the
+// highest practical order for every curve.
+func TestQuickCurveBijectionHighOrder(t *testing.T) {
+	const order = 24
+	for _, c := range Extended() {
+		c := c
+		f := func(x, y uint32) bool {
+			p := geom.Pt(x, y)
+			return c.Point(order, c.Index(order, p)) == p
+		}
+		if err := quick.Check(f, quickCfg(order)); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestQuickMortonOrderIsInterleaving checks the Z-curve's defining
+// algebra on random points: splitting a coordinate's bits splits the
+// index accordingly.
+func TestQuickMortonOrderIsInterleaving(t *testing.T) {
+	const order = 16
+	f := func(x, y uint32) bool {
+		idx := Morton.Index(order, geom.Pt(x, y))
+		// Check every bit lands in its interleaved slot.
+		for b := uint(0); b < order; b++ {
+			if (idx>>(2*b))&1 != uint64(x>>b&1) {
+				return false
+			}
+			if (idx>>(2*b+1))&1 != uint64(y>>b&1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(order)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMortonMonotoneInQuadrant: moving to a higher quadrant (both
+// coordinate top bits set) always increases the Morton index.
+func TestQuickMortonMonotoneInQuadrant(t *testing.T) {
+	const order = 12
+	half := geom.Side(order) / 2
+	f := func(x1, y1, x2, y2 uint32) bool {
+		lo := geom.Pt(x1%half, y1%half)
+		hi := geom.Pt(x2%half+half, y2%half+half)
+		return Morton.Index(order, lo) < Morton.Index(order, hi)
+	}
+	if err := quick.Check(f, quickCfg(order)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGrayAdjacency: consecutive Gray-order indices always have
+// Morton codes exactly one bit apart — for random positions along the
+// curve, not just small exhaustive grids.
+func TestQuickGrayAdjacency(t *testing.T) {
+	const order = 14
+	f := func(x, y uint32) bool {
+		d := Gray.Index(order, geom.Pt(x, y))
+		if d+1 >= geom.Cells(order) {
+			return true
+		}
+		a := Gray.Point(order, d)
+		b := Gray.Point(order, d+1)
+		diff := mortonEncode(a.X, a.Y) ^ mortonEncode(b.X, b.Y)
+		return diff != 0 && diff&(diff-1) == 0
+	}
+	if err := quick.Check(f, quickCfg(order)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHilbertLocality: positions close along the Hilbert curve
+// are close in space — |d1-d2| = k implies Manhattan distance
+// O(sqrt(k)) (within the known constant ~3 for 2D Hilbert).
+func TestQuickHilbertLocality(t *testing.T) {
+	const order = 12
+	f := func(x, y uint32, gapRaw uint32) bool {
+		gap := uint64(gapRaw%1024) + 1
+		d := Hilbert.Index(order, geom.Pt(x, y))
+		if d+gap >= geom.Cells(order) {
+			return true
+		}
+		a := Hilbert.Point(order, d)
+		b := Hilbert.Point(order, d+gap)
+		dist := geom.Manhattan(a, b)
+		// Hilbert curve: dist^2 <= 6*gap holds comfortably (the tight
+		// bound for the Euclidean metric square is 6).
+		return uint64(dist*dist) <= 9*gap
+	}
+	if err := quick.Check(f, quickCfg(order)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSnakeStretchBound: the snake scan's defining property under
+// random sampling — spatially adjacent cells map within 2*side of each
+// other in the order.
+func TestQuickSnakeStretchBound(t *testing.T) {
+	const order = 10
+	side := geom.Side(order)
+	f := func(x, y uint32) bool {
+		if x+1 >= side {
+			return true
+		}
+		a := Snake.Index(order, geom.Pt(x, y))
+		b := Snake.Index(order, geom.Pt(x+1, y))
+		gap := a - b
+		if b > a {
+			gap = b - a
+		}
+		return gap <= 2*uint64(side)-1
+	}
+	if err := quick.Check(f, quickCfg(order)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHilbertNDMatches2DSymmetry: the 2D Skilling Hilbert is a
+// grid symmetry of the classic H_k, so pairwise curve distances are
+// preserved under the mapping index->index.
+func TestQuickHilbertNDIsometricNeighbors(t *testing.T) {
+	h2 := HilbertND{N: 2}
+	const order = 8
+	coords := make([]uint32, 2)
+	f := func(x, y uint32) bool {
+		// Unit steps of the ND curve are unit steps in space (already
+		// tested exhaustively at small orders; here at random high
+		// positions).
+		coords[0], coords[1] = x, y
+		d := h2.IndexND(order, coords)
+		if d+1 >= geom.Cells(order) {
+			return true
+		}
+		a := make([]uint32, 2)
+		b := make([]uint32, 2)
+		h2.CoordsND(order, d, a)
+		h2.CoordsND(order, d+1, b)
+		dist := 0
+		for i := range a {
+			delta := int(a[i]) - int(b[i])
+			if delta < 0 {
+				delta = -delta
+			}
+			dist += delta
+		}
+		return dist == 1
+	}
+	if err := quick.Check(f, quickCfg(order)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package sfc
+
+import "sfcacd/internal/geom"
+
+// This file contains the recursive constructions of the Hilbert, Z, and
+// Gray curves exactly as the paper describes them in §II-A: H_{k+1} is
+// four rotated copies of H_k, Z_{k+1} is four unrotated copies of Z_k,
+// and G_{k+1} keeps the lower two copies and rotates the upper two by
+// 180°. They are exponentially slower than the bit-twiddling forms and
+// exist so tests can prove the fast forms realize the recursive
+// definitions. The paper itself notes this split: "it is more
+// computationally efficient to compute the order of each point directly
+// with bit operations ... for theoretical considerations, the
+// combinatorial properties of the recursive constructions are more
+// valuable".
+
+// RecursiveHilbert enumerates H_order as the list of cells in visit
+// order, built by the rotate-and-glue recursion.
+func RecursiveHilbert(order uint) []geom.Point {
+	if order > 12 {
+		panic("sfc: recursive construction limited to order <= 12")
+	}
+	return recurseHilbert(order)
+}
+
+// recurseHilbert builds the curve in the orientation that starts at
+// (0,0) and ends at (2^k-1, 0), matching hilbertCurve.
+func recurseHilbert(order uint) []geom.Point {
+	if order == 0 {
+		return []geom.Point{{X: 0, Y: 0}}
+	}
+	prev := recurseHilbert(order - 1)
+	half := geom.Side(order - 1)
+	out := make([]geom.Point, 0, 4*len(prev))
+	// Quadrant 1: lower-left, previous iteration transposed (rotated so
+	// the exit aligns upward).
+	for _, p := range prev {
+		out = append(out, geom.Point{X: p.Y, Y: p.X})
+	}
+	// Quadrant 2: upper-left, translated copy.
+	for _, p := range prev {
+		out = append(out, geom.Point{X: p.X, Y: p.Y + half})
+	}
+	// Quadrant 3: upper-right, translated copy.
+	for _, p := range prev {
+		out = append(out, geom.Point{X: p.X + half, Y: p.Y + half})
+	}
+	// Quadrant 4: lower-right, anti-transposed (rotated so the entry
+	// aligns downward toward the exit corner).
+	for _, p := range prev {
+		out = append(out, geom.Point{X: 2*half - 1 - p.Y, Y: half - 1 - p.X})
+	}
+	return out
+}
+
+// RecursiveMorton enumerates Z_order by the unrotated 2x2 recursion.
+func RecursiveMorton(order uint) []geom.Point {
+	if order > 12 {
+		panic("sfc: recursive construction limited to order <= 12")
+	}
+	if order == 0 {
+		return []geom.Point{{X: 0, Y: 0}}
+	}
+	prev := RecursiveMorton(order - 1)
+	half := geom.Side(order - 1)
+	out := make([]geom.Point, 0, 4*len(prev))
+	// Z visits quadrants in the order (0,0), (1,0), (0,1), (1,1) of
+	// (xbit, ybit) — x is the least significant interleaved bit.
+	offsets := []geom.Point{geom.Pt(0, 0), geom.Pt(half, 0), geom.Pt(0, half), geom.Pt(half, half)}
+	for _, off := range offsets {
+		for _, p := range prev {
+			out = append(out, geom.Point{X: p.X + off.X, Y: p.Y + off.Y})
+		}
+	}
+	return out
+}
+
+// RecursiveGray enumerates G_order: quadrants are visited in the
+// Gray-code order of their (ybit, xbit) prefix — lower-left,
+// lower-right, upper-right, upper-left — with the second and fourth
+// copies traversed in reverse. (Working the Gray-decode definition
+// through bit by bit shows the sub-curves alternate traversal
+// direction; as a drawing of undirected edges this coincides with the
+// paper's Figure 1(c).)
+func RecursiveGray(order uint) []geom.Point {
+	if order > 12 {
+		panic("sfc: recursive construction limited to order <= 12")
+	}
+	if order == 0 {
+		return []geom.Point{{X: 0, Y: 0}}
+	}
+	prev := RecursiveGray(order - 1)
+	half := geom.Side(order - 1)
+	out := make([]geom.Point, 0, 4*len(prev))
+	add := func(off geom.Point, reversed bool) {
+		for i := range prev {
+			p := prev[i]
+			if reversed {
+				p = prev[len(prev)-1-i]
+			}
+			out = append(out, geom.Point{X: p.X + off.X, Y: p.Y + off.Y})
+		}
+	}
+	add(geom.Pt(0, 0), false)
+	add(geom.Pt(half, 0), true)
+	add(geom.Pt(half, half), false)
+	add(geom.Pt(0, half), true)
+	return out
+}

@@ -1,0 +1,53 @@
+package sfc
+
+import "sfcacd/internal/geom"
+
+// rowMajorCurve implements the paper's simple row/column-major order:
+// "assign the points in the first column the values {1..2^k}", i.e. the
+// i-th column is numbered (i-1)*2^k+1 .. i*2^k. With zero-based indices
+// that is index = x*2^k + y. (The row-of-columns variant is its mirror
+// and has identical metric behaviour by symmetry.)
+type rowMajorCurve struct{}
+
+func (rowMajorCurve) Name() string { return "rowmajor" }
+
+func (rowMajorCurve) Index(order uint, p geom.Point) uint64 {
+	checkPoint(order, p)
+	return uint64(p.X)*uint64(geom.Side(order)) + uint64(p.Y)
+}
+
+func (rowMajorCurve) Point(order uint, d uint64) geom.Point {
+	checkIndex(order, d)
+	side := uint64(geom.Side(order))
+	return geom.Point{X: uint32(d / side), Y: uint32(d % side)}
+}
+
+// snakeCurve implements the boustrophedon ("snake scan") order: like
+// row-major, but every other column is traversed in reverse so that
+// consecutive indices are always spatially adjacent. It is the discrete
+// analog of the continuous snake scan that Xu and Tirthapura prove
+// optimal for clustering, included here as an extension curve.
+type snakeCurve struct{}
+
+func (snakeCurve) Name() string { return "snake" }
+
+func (snakeCurve) Index(order uint, p geom.Point) uint64 {
+	checkPoint(order, p)
+	side := geom.Side(order)
+	y := p.Y
+	if p.X&1 == 1 {
+		y = side - 1 - y
+	}
+	return uint64(p.X)*uint64(side) + uint64(y)
+}
+
+func (snakeCurve) Point(order uint, d uint64) geom.Point {
+	checkIndex(order, d)
+	side := uint64(geom.Side(order))
+	x := uint32(d / side)
+	y := uint32(d % side)
+	if x&1 == 1 {
+		y = uint32(side) - 1 - y
+	}
+	return geom.Point{X: x, Y: y}
+}

@@ -1,0 +1,76 @@
+// Package stats provides the small statistical toolkit behind the
+// experiment harness: summary statistics and a deterministic parallel
+// multi-trial runner (the paper reports "averages over multiple
+// independent trials for each set of parameters").
+package stats
+
+import (
+	"math"
+	"sync"
+
+	"sfcacd/internal/rng"
+)
+
+// Summary holds the usual summary statistics of a sample.
+type Summary struct {
+	N         int
+	Mean      float64
+	Std       float64 // sample standard deviation (n-1)
+	Min, Max  float64
+	HalfWidth float64 // 95% normal-approximation confidence half-width
+}
+
+// Summarize computes summary statistics; it returns the zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+		s.HalfWidth = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// RunTrials runs f once per trial, each with an independent
+// deterministic generator derived from baseSeed, in parallel, and
+// returns the per-trial results in trial order. The same baseSeed
+// always yields the same results regardless of scheduling.
+func RunTrials(trials int, baseSeed uint64, f func(trial int, r *rng.Rand) float64) []float64 {
+	out := make([]float64, trials)
+	var wg sync.WaitGroup
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-trial seed: mix the trial index into the base seed so
+			// streams are independent but reproducible.
+			out[i] = f(i, rng.New(baseSeed+uint64(i)*0x9e3779b97f4a7c15))
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// MeanOfTrials is RunTrials followed by Summarize.
+func MeanOfTrials(trials int, baseSeed uint64, f func(trial int, r *rng.Rand) float64) Summary {
+	return Summarize(RunTrials(trials, baseSeed, f))
+}

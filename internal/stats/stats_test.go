@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"sfcacd/internal/rng"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{4.5})
+	if s.N != 1 || s.Mean != 4.5 || s.Min != 4.5 || s.Max != 4.5 || s.Std != 0 || s.HalfWidth != 0 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %f", s.Mean)
+	}
+	// Sample std with n-1: variance = 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %f, want %f", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.HalfWidth <= 0 {
+		t.Errorf("half width %f", s.HalfWidth)
+	}
+}
+
+func TestRunTrialsDeterministic(t *testing.T) {
+	f := func(trial int, r *rng.Rand) float64 {
+		return float64(trial) + r.Float64()
+	}
+	a := RunTrials(8, 42, f)
+	b := RunTrials(8, 42, f)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d diverged: %f vs %f", i, a[i], b[i])
+		}
+	}
+	c := RunTrials(8, 43, f)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different base seeds gave identical trials")
+	}
+}
+
+func TestRunTrialsOrder(t *testing.T) {
+	out := RunTrials(16, 1, func(trial int, r *rng.Rand) float64 { return float64(trial) })
+	for i, v := range out {
+		if v != float64(i) {
+			t.Fatalf("trial order scrambled: out[%d] = %f", i, v)
+		}
+	}
+}
+
+func TestMeanOfTrials(t *testing.T) {
+	s := MeanOfTrials(5, 7, func(trial int, r *rng.Rand) float64 { return 2.0 })
+	if s.N != 5 || s.Mean != 2 || s.Std != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+}

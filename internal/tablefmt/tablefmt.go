@@ -1,0 +1,222 @@
+// Package tablefmt renders the experiment results in the shapes the
+// paper uses: matrix tables with row/column minima highlighted (the
+// boldface/italics convention of Tables I and II) and aligned series
+// tables for the figures. It also emits CSV for external plotting.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Matrix is a 2D table of float64 cells with row and column headers,
+// e.g. processor-order SFC x particle-order SFC.
+type Matrix struct {
+	// Title is printed above the table.
+	Title string
+	// Corner labels the row-header column.
+	Corner string
+	// Cols are the column headers.
+	Cols []string
+	// Rows are the row headers.
+	Rows []string
+	// Cells[r][c] are the values; len(Cells) == len(Rows), each row
+	// len(Cols).
+	Cells [][]float64
+	// MarkMinima, when set, marks each row minimum with '*' and each
+	// column minimum with '†', mirroring the paper's bold/italics.
+	MarkMinima bool
+	// Precision is the number of decimals (default 3).
+	Precision int
+}
+
+// Render writes the aligned ASCII table.
+func (m *Matrix) Render(w io.Writer) error {
+	if len(m.Cells) != len(m.Rows) {
+		return fmt.Errorf("tablefmt: %d cell rows for %d row headers", len(m.Cells), len(m.Rows))
+	}
+	prec := m.Precision
+	if prec == 0 {
+		prec = 3
+	}
+	rowMin := make([]float64, len(m.Rows))
+	colMin := make([]float64, len(m.Cols))
+	for c := range colMin {
+		colMin[c] = inf()
+	}
+	for r, row := range m.Cells {
+		if len(row) != len(m.Cols) {
+			return fmt.Errorf("tablefmt: row %d has %d cells for %d columns", r, len(row), len(m.Cols))
+		}
+		rowMin[r] = inf()
+		for c, v := range row {
+			if v < rowMin[r] {
+				rowMin[r] = v
+			}
+			if v < colMin[c] {
+				colMin[c] = v
+			}
+		}
+	}
+	cell := func(r, c int) string {
+		v := m.Cells[r][c]
+		s := fmt.Sprintf("%.*f", prec, v)
+		if m.MarkMinima {
+			if v == rowMin[r] {
+				s += "*"
+			}
+			if v == colMin[c] {
+				s += "†"
+			}
+		}
+		return s
+	}
+	// Column widths.
+	widths := make([]int, len(m.Cols)+1)
+	widths[0] = len(m.Corner)
+	for _, rh := range m.Rows {
+		if len(rh) > widths[0] {
+			widths[0] = len(rh)
+		}
+	}
+	for c, ch := range m.Cols {
+		widths[c+1] = displayLen(ch)
+		for r := range m.Rows {
+			if l := displayLen(cell(r, c)); l > widths[c+1] {
+				widths[c+1] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if m.Title != "" {
+		fmt.Fprintf(&b, "%s\n", m.Title)
+	}
+	pad := func(s string, w int) string {
+		return s + strings.Repeat(" ", w-displayLen(s))
+	}
+	b.WriteString(pad(m.Corner, widths[0]))
+	for c, ch := range m.Cols {
+		b.WriteString("  " + pad(ch, widths[c+1]))
+	}
+	b.WriteByte('\n')
+	total := widths[0]
+	for _, w := range widths[1:] {
+		total += 2 + w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for r, rh := range m.Rows {
+		b.WriteString(pad(rh, widths[0]))
+		for c := range m.Cols {
+			b.WriteString("  " + pad(cell(r, c), widths[c+1]))
+		}
+		b.WriteByte('\n')
+	}
+	if m.MarkMinima {
+		b.WriteString("(* = row minimum, † = column minimum)\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// displayLen counts runes, so the dagger marker aligns.
+func displayLen(s string) int { return len([]rune(s)) }
+
+func inf() float64 { return 1e308 }
+
+// Series is one named line of a figure: Y values over the shared X
+// axis of a SeriesTable.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// SeriesTable renders figure data: one row per X value, one column per
+// series.
+type SeriesTable struct {
+	// Title is printed above the table.
+	Title string
+	// XLabel heads the X column.
+	XLabel string
+	// X holds the shared axis values, formatted with %g.
+	X []float64
+	// Series are the lines.
+	Series []Series
+	// Precision is the number of decimals (default 3).
+	Precision int
+}
+
+// Render writes the aligned ASCII series table.
+func (st *SeriesTable) Render(w io.Writer) error {
+	prec := st.Precision
+	if prec == 0 {
+		prec = 3
+	}
+	for _, s := range st.Series {
+		if len(s.Y) != len(st.X) {
+			return fmt.Errorf("tablefmt: series %q has %d values for %d x points", s.Name, len(s.Y), len(st.X))
+		}
+	}
+	headers := make([]string, len(st.Series)+1)
+	headers[0] = st.XLabel
+	for i, s := range st.Series {
+		headers[i+1] = s.Name
+	}
+	rows := make([][]string, len(st.X))
+	for r, x := range st.X {
+		row := make([]string, len(headers))
+		row[0] = fmt.Sprintf("%g", x)
+		for c, s := range st.Series {
+			row[c+1] = fmt.Sprintf("%.*f", prec, s.Y[r])
+		}
+		rows[r] = row
+	}
+	var b strings.Builder
+	if st.Title != "" {
+		fmt.Fprintf(&b, "%s\n", st.Title)
+	}
+	widths := make([]int, len(headers))
+	for c, h := range headers {
+		widths[c] = len(h)
+		for _, row := range rows {
+			if l := len(row[c]); l > widths[c] {
+				widths[c] = l
+			}
+		}
+	}
+	writeRow := func(row []string) {
+		for c, v := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[c]-len(v)))
+			b.WriteString(v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes a header line and rows of comma-separated values.
+// Values must not contain commas or newlines (all our emitters use
+// plain identifiers and numbers).
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("tablefmt: csv row has %d fields for %d headers", len(row), len(header))
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixRender(t *testing.T) {
+	m := &Matrix{
+		Title:  "NFI",
+		Corner: "proc\\part",
+		Cols:   []string{"hilbert", "morton"},
+		Rows:   []string{"hilbert", "rowmajor"},
+		Cells: [][]float64{
+			{4.008, 4.308},
+			{9.126, 9.763},
+		},
+		MarkMinima: true,
+	}
+	var b strings.Builder
+	if err := m.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"NFI", "hilbert", "4.008*†", "9.126*", "row minimum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMatrixRenderNoMarks(t *testing.T) {
+	m := &Matrix{
+		Cols:  []string{"a"},
+		Rows:  []string{"r"},
+		Cells: [][]float64{{1.5}},
+	}
+	var b strings.Builder
+	if err := m.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "*") {
+		t.Errorf("unexpected marker:\n%s", b.String())
+	}
+}
+
+func TestMatrixPrecision(t *testing.T) {
+	m := &Matrix{
+		Cols:      []string{"a"},
+		Rows:      []string{"r"},
+		Cells:     [][]float64{{1.23456}},
+		Precision: 1,
+	}
+	var b strings.Builder
+	if err := m.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "1.2") || strings.Contains(b.String(), "1.23") {
+		t.Errorf("precision not honoured:\n%s", b.String())
+	}
+}
+
+func TestMatrixShapeErrors(t *testing.T) {
+	bad := &Matrix{Cols: []string{"a"}, Rows: []string{"r", "s"}, Cells: [][]float64{{1}}}
+	if err := bad.Render(&strings.Builder{}); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	bad = &Matrix{Cols: []string{"a", "b"}, Rows: []string{"r"}, Cells: [][]float64{{1}}}
+	if err := bad.Render(&strings.Builder{}); err == nil {
+		t.Error("column mismatch accepted")
+	}
+}
+
+func TestSeriesTableRender(t *testing.T) {
+	st := &SeriesTable{
+		Title:  "Fig 5(a)",
+		XLabel: "side",
+		X:      []float64{2, 4, 8},
+		Series: []Series{
+			{Name: "hilbert", Y: []float64{1.5, 2.8, 5.1}},
+			{Name: "morton", Y: []float64{1.5, 2.5, 4.4}},
+		},
+	}
+	var b strings.Builder
+	if err := st.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig 5(a)", "side", "hilbert", "morton", "2.800", "4.400"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + 3 rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesTableShapeError(t *testing.T) {
+	st := &SeriesTable{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "a", Y: []float64{1}}},
+	}
+	if err := st.Render(&strings.Builder{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"x", "y"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "x,y\n1,2\n3,4\n" {
+		t.Errorf("csv output %q", b.String())
+	}
+	if err := WriteCSV(&strings.Builder{}, []string{"x"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("field mismatch accepted")
+	}
+}

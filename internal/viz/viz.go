@@ -1,0 +1,143 @@
+// Package viz renders the paper's illustrative figures as text and
+// SVG: curve paths (Figure 1), sampler densities (Figure 2), and
+// particle orderings (Figure 3). cmd/sfcviz is a thin wrapper around
+// this package.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+)
+
+// ASCIIPath draws the curve as a connected path using 'o' for cells
+// and '-'/'|' for unit links, on a (2*side-1)^2 canvas with y growing
+// upward (matching the paper's figures). Non-unit jumps (Z and Gray
+// discontinuities) are left unconnected.
+func ASCIIPath(c sfc.Curve, order uint) string {
+	if order > 6 {
+		panic("viz: ASCII path limited to order <= 6")
+	}
+	side := int(geom.Side(order))
+	w := 2*side - 1
+	canvas := make([][]rune, w)
+	for i := range canvas {
+		canvas[i] = make([]rune, w)
+		for j := range canvas[i] {
+			canvas[i][j] = ' '
+		}
+	}
+	var prev geom.Point
+	sfc.Walk(c, order, func(d uint64, p geom.Point) {
+		canvas[int(p.Y)*2][int(p.X)*2] = 'o'
+		if d > 0 {
+			dx, dy := int(p.X)-int(prev.X), int(p.Y)-int(prev.Y)
+			if dx == 0 && abs(dy) == 1 {
+				canvas[int(p.Y)+int(prev.Y)][int(p.X)*2] = '|'
+			} else if dy == 0 && abs(dx) == 1 {
+				canvas[int(p.Y)*2][int(p.X)+int(prev.X)] = '-'
+			}
+		}
+		prev = p
+	})
+	var b strings.Builder
+	for y := w - 1; y >= 0; y-- {
+		b.WriteString(strings.TrimRight(string(canvas[y]), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// SVGPath renders the curve as an SVG polyline document.
+func SVGPath(c sfc.Curve, order uint, cellPx int) string {
+	if cellPx < 1 {
+		cellPx = 16
+	}
+	side := int(geom.Side(order))
+	size := side * cellPx
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		size, size, size, size)
+	b.WriteString(`<polyline fill="none" stroke="black" stroke-width="2" points="`)
+	sfc.Walk(c, order, func(d uint64, p geom.Point) {
+		fmt.Fprintf(&b, "%d,%d ", int(p.X)*cellPx+cellPx/2, (side-1-int(p.Y))*cellPx+cellPx/2)
+	})
+	b.WriteString(`"/>` + "\n</svg>\n")
+	return b.String()
+}
+
+// DensityMap renders an ASCII density shading of n samples from the
+// sampler on a 2^order grid, darkest where most samples land.
+func DensityMap(s dist.Sampler, seed uint64, order uint, n int) string {
+	side := int(geom.Side(order))
+	shades := []rune(" .:-=+*#%@")
+	r := rng.New(seed)
+	counts := make([]int, side*side)
+	maxC := 1
+	for i := 0; i < n; i++ {
+		p := s.Sample(r, order)
+		id := int(p.Y)*side + int(p.X)
+		counts[id]++
+		if counts[id] > maxC {
+			maxC = counts[id]
+		}
+	}
+	var b strings.Builder
+	for y := side - 1; y >= 0; y-- {
+		row := make([]rune, side)
+		for x := 0; x < side; x++ {
+			row[x] = shades[counts[y*side+x]*(len(shades)-1)/maxC]
+		}
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RankMap renders the linear order a curve assigns to a particle set
+// as a grid of ranks ('.' marks empty cells), y growing upward.
+func RankMap(c sfc.Curve, order uint, pts []geom.Point) string {
+	if order > 6 {
+		panic("viz: rank map limited to order <= 6")
+	}
+	side := int(geom.Side(order))
+	perm := sfc.SortPoints(c, order, pts)
+	rank := make(map[geom.Point]int, len(pts))
+	for ord, i := range perm {
+		rank[pts[i]] = ord
+	}
+	var b strings.Builder
+	for y := side - 1; y >= 0; y-- {
+		for x := 0; x < side; x++ {
+			if v, ok := rank[geom.Pt(uint32(x), uint32(y))]; ok {
+				fmt.Fprintf(&b, "%4d", v)
+			} else {
+				b.WriteString("   .")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// OrderingList formats the particles of pts in the curve's linear
+// order, one "(x,y)" per entry.
+func OrderingList(c sfc.Curve, order uint, pts []geom.Point) string {
+	perm := sfc.SortPoints(c, order, pts)
+	parts := make([]string, len(perm))
+	for i, idx := range perm {
+		parts[i] = pts[idx].String()
+	}
+	return strings.Join(parts, " ")
+}

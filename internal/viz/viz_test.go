@@ -1,0 +1,147 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+)
+
+func TestASCIIPathHilbertOrder1(t *testing.T) {
+	// H_1 visits (0,0),(0,1),(1,1),(1,0): a bridge shape open at the
+	// bottom.
+	got := ASCIIPath(sfc.Hilbert, 1)
+	want := "o-o\n|\no o\n"
+	// Normalize: the canvas trims trailing spaces; the middle row has
+	// the two vertical links.
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("path:\n%s", got)
+	}
+	if lines[0] != "o-o" {
+		t.Errorf("top row %q", lines[0])
+	}
+	if lines[1] != "| |" {
+		t.Errorf("middle row %q", lines[1])
+	}
+	if lines[2] != "o o" {
+		t.Errorf("bottom row %q", lines[2])
+	}
+	_ = want
+}
+
+func TestASCIIPathCellCount(t *testing.T) {
+	for _, c := range sfc.Extended() {
+		for order := uint(1); order <= 4; order++ {
+			got := ASCIIPath(c, order)
+			if n := strings.Count(got, "o"); n != int(geom.Cells(order)) {
+				t.Errorf("%s order %d: %d cells drawn, want %d", c.Name(), order, n, geom.Cells(order))
+			}
+		}
+	}
+}
+
+func TestASCIIPathConnectorCounts(t *testing.T) {
+	// A continuous curve of 4^k cells draws exactly 4^k - 1 links; the
+	// Z-curve has long jumps that are not drawn.
+	hil := ASCIIPath(sfc.Hilbert, 3)
+	links := strings.Count(hil, "-") + strings.Count(hil, "|")
+	if links != int(geom.Cells(3))-1 {
+		t.Errorf("hilbert links = %d, want %d", links, geom.Cells(3)-1)
+	}
+	z := ASCIIPath(sfc.Morton, 3)
+	if zl := strings.Count(z, "-") + strings.Count(z, "|"); zl >= links {
+		t.Errorf("morton links %d not fewer than hilbert %d", zl, links)
+	}
+}
+
+func TestASCIIPathPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("order 7 accepted")
+		}
+	}()
+	ASCIIPath(sfc.Hilbert, 7)
+}
+
+func TestSVGPath(t *testing.T) {
+	svg := SVGPath(sfc.Hilbert, 2, 10)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "polyline") {
+		t.Fatalf("svg output:\n%s", svg)
+	}
+	// 16 points for order 2.
+	points := strings.Count(strings.Split(svg, `points="`)[1], ",")
+	if points != 16 {
+		t.Errorf("svg has %d points, want 16", points)
+	}
+	// Default cell size when nonpositive.
+	if !strings.Contains(SVGPath(sfc.Morton, 1, 0), `width="32"`) {
+		t.Error("default cell size not applied")
+	}
+}
+
+func TestDensityMapShape(t *testing.T) {
+	out := DensityMap(dist.Uniform, 1, 4, 2000)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("%d lines, want 16", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 16 {
+			t.Fatalf("line %d has %d chars", i, len(l))
+		}
+	}
+	// The exponential corner map must be darkest at the bottom-left
+	// (last line, first column region) and blank in the far corner.
+	exp := DensityMap(dist.Exponential, 1, 4, 4000)
+	el := strings.Split(strings.TrimRight(exp, "\n"), "\n")
+	if el[0][15] != ' ' {
+		t.Errorf("exponential far corner not empty: %q", el[0])
+	}
+	if el[15][0] == ' ' {
+		t.Errorf("exponential near corner empty")
+	}
+}
+
+func TestRankMap(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(3, 2)}
+	out := RankMap(sfc.Hilbert, 2, pts)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, want := range []string{"0", "1", "2", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rank map missing %q:\n%s", want, out)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("order 7 accepted")
+		}
+	}()
+	RankMap(sfc.Hilbert, 7, pts)
+}
+
+func TestOrderingList(t *testing.T) {
+	pts := []geom.Point{geom.Pt(1, 0), geom.Pt(0, 0)}
+	got := OrderingList(sfc.RowMajor, 1, pts)
+	if got != "(0,0) (1,0)" {
+		t.Errorf("ordering list %q", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := DensityMap(dist.Normal, 7, 5, 1000)
+	b := DensityMap(dist.Normal, 7, 5, 1000)
+	if a != b {
+		t.Fatal("density map not deterministic")
+	}
+	r1, _ := dist.SampleUnique(dist.Uniform, rng.New(9), 4, 10)
+	if OrderingList(sfc.Gray, 4, r1) != OrderingList(sfc.Gray, 4, r1) {
+		t.Fatal("ordering list not deterministic")
+	}
+}
