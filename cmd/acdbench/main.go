@@ -7,35 +7,57 @@
 //	acdbench -experiment table12                 # scaled-down default
 //	acdbench -experiment table12 -full           # exact paper parameters
 //	acdbench -experiment fig6 -particles 100000  # custom overrides
-//	acdbench -experiment all
+//	acdbench -experiment all -report run.json    # with a run manifest
 //
-// Experiments: table12 (Tables I and II), fig6, fig7, radius, nsweep,
-// meshtorus, primitives, contention, dynamic, threed, clustering,
-// loadbalance, execmodel, metrics, or all. Pass -csvdir to also write
-// machine-readable CSVs.
+// Result tables go to stdout; progress logging goes to stderr (-v for
+// debug detail). Pass -csvdir to also write machine-readable CSVs,
+// -report to emit a JSON run manifest (parameters, per-phase timings,
+// metric counters, memory peaks), and -cpuprofile / -memprofile /
+// -trace to capture pprof and runtime/trace artifacts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+	"strings"
 	"time"
 
 	"sfcacd/internal/experiments"
+	"sfcacd/internal/obs"
 )
+
+// names lists every experiment in display order. It is the single
+// source of truth: the -experiment flag help, the "all" expansion, and
+// the runner lookup are all derived from it.
+var names = []string{
+	"table12", "fig6", "fig7", "radius", "nsweep", "meshtorus",
+	"primitives", "contention", "dynamic", "threed", "clustering",
+	"loadbalance", "execmodel", "metrics",
+}
 
 // csvDir, when set, receives one CSV file per experiment result.
 var csvDir string
+
+// logger carries progress output to stderr; result tables stay on
+// stdout.
+var logger *slog.Logger
 
 // csvWriter is implemented by every experiment result with a CSV form.
 type csvWriter interface {
 	WriteCSV(io.Writer) error
 }
 
-// emitCSV writes the result's CSV into csvDir (no-op when unset).
-func emitCSV(name string, r csvWriter) error {
+// emitCSV writes the result's CSV into csvDir (no-op when unset). A
+// failed Close is reported: on a full disk the data loss surfaces
+// there, not in Write.
+func emitCSV(name string, r csvWriter) (err error) {
 	if csvDir == "" {
 		return nil
 	}
@@ -47,29 +69,96 @@ func emitCSV(name string, r csvWriter) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if err := r.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Println("wrote", path)
+	logger.Info("wrote CSV", "path", path)
 	return nil
 }
 
+// runnerSpec pairs an experiment's runner with the parameter value
+// recorded in the run manifest.
+type runnerSpec struct {
+	run    func() error
+	params func() any
+}
+
 func main() {
+	os.Exit(run())
+}
+
+// run is the real main; returning instead of os.Exit lets the
+// deferred profile/trace finalizers flush before the process ends.
+func run() int {
 	var (
-		experiment = flag.String("experiment", "table12", "experiment to run: table12, fig6, fig7, radius, nsweep, meshtorus, primitives, contention, all")
-		full       = flag.Bool("full", false, "use exact paper-scale parameters (slow)")
-		scale      = flag.Uint("scale", 2, "scale-down steps from paper parameters (each step quarters the input)")
-		particles  = flag.Int("particles", 0, "override particle count")
-		order      = flag.Uint("order", 0, "override spatial resolution order (grid side 2^order)")
-		procOrder  = flag.Uint("procorder", 0, "override processor order (p = 4^procorder)")
-		radius     = flag.Int("radius", 0, "override near-field radius")
-		trials     = flag.Int("trials", 0, "override trial count")
-		seed       = flag.Uint64("seed", 0, "override random seed")
-		csvDirF    = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
+		experiment = flag.String("experiment", "table12",
+			"experiment to run: "+strings.Join(names, ", ")+", or all")
+		full      = flag.Bool("full", false, "use exact paper-scale parameters (slow)")
+		scale     = flag.Uint("scale", 2, "scale-down steps from paper parameters (each step quarters the input)")
+		particles = flag.Int("particles", 0, "override particle count")
+		order     = flag.Uint("order", 0, "override spatial resolution order (grid side 2^order)")
+		procOrder = flag.Uint("procorder", 0, "override processor order (p = 4^procorder)")
+		radius    = flag.Int("radius", 0, "override near-field radius")
+		trials    = flag.Int("trials", 0, "override trial count")
+		seed      = flag.Uint64("seed", 0, "override random seed")
+		csvDirF   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
+		report    = flag.String("report", "", "write a JSON run manifest to this file")
+		determin  = flag.Bool("deterministic", false, "strip host- and time-dependent fields from the manifest")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		traceOut  = flag.String("trace", "", "write a runtime/trace to this file")
+		verbose   = flag.Bool("v", false, "enable debug-level progress logging")
 	)
 	flag.Parse()
 	csvDir = *csvDirF
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			logger.Error("cpuprofile", "err", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Error("cpuprofile", "err", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				logger.Error("cpuprofile close", "err", err)
+			}
+			logger.Info("wrote CPU profile", "path", *cpuProf)
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			logger.Error("trace", "err", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			logger.Error("trace", "err", err)
+			return 1
+		}
+		defer func() {
+			trace.Stop()
+			if err := f.Close(); err != nil {
+				logger.Error("trace close", "err", err)
+			}
+			logger.Info("wrote execution trace", "path", *traceOut)
+		}()
+	}
 
 	params := func(paper experiments.Params) experiments.Params {
 		p := paper
@@ -96,88 +185,200 @@ func main() {
 		}
 		return p
 	}
+	table12Params := func() any { return params(experiments.Table12Paper) }
+	threedParams := func() experiments.ThreeDParams {
+		p := experiments.ThreeDDefault
+		if *full {
+			p.Particles = 200000
+			p.Order = 7     // 128^3 cells
+			p.ProcOrder = 3 // 512 processors on an 8x8x8 torus
+			p.ANNSOrder = 5 // 32^3 full grid
+		}
+		return p
+	}
+	clusteringParams := func() (order uint, trials int) {
+		if *full {
+			return 10, 10000
+		}
+		return 8, 2000
+	}
+	metricsConfig := func() experiments.MetricsConfig {
+		cfg := experiments.MetricsConfig{
+			Params:      params(experiments.Table12Paper),
+			MetricOrder: 7,
+			QuerySide:   8,
+			QueryTrials: 5000,
+		}
+		if *full {
+			cfg.MetricOrder = 9
+		}
+		return cfg
+	}
 
-	runners := map[string]func() error{
-		"table12":    func() error { return runTable12(params(experiments.Table12Paper)) },
-		"fig6":       func() error { return runFig6(params(experiments.Fig6Paper)) },
-		"fig7":       func() error { return runFig7(params(experiments.Fig7Paper)) },
-		"radius":     func() error { return runRadius(params(experiments.Table12Paper)) },
-		"nsweep":     func() error { return runNSweep(params(experiments.Table12Paper)) },
-		"meshtorus":  func() error { return runMeshTorus(params(experiments.Table12Paper)) },
-		"primitives": func() error { return runPrimitives(params(experiments.Table12Paper)) },
-		"contention": func() error { return runContention(params(experiments.Table12Paper)) },
-		"dynamic":    func() error { return runDynamic(params(experiments.Table12Paper)) },
-		"threed":     func() error { return runThreeD(*full) },
-		"clustering": func() error { return runClustering(*full) },
-		"loadbalance": func() error {
-			p := params(experiments.Table12Paper)
-			announce(p)
-			res, err := experiments.RunLoadBalance(p)
-			if err != nil {
-				return err
-			}
-			if err := emitCSV("loadbalance", res); err != nil {
-				return err
-			}
-			return res.Matrix().Render(os.Stdout)
+	runners := map[string]runnerSpec{
+		"table12": {
+			run:    func() error { return runTable12(params(experiments.Table12Paper)) },
+			params: table12Params,
 		},
-		"execmodel": func() error {
-			p := params(experiments.Table12Paper)
-			announce(p)
-			res, err := experiments.RunExecModel(p)
-			if err != nil {
-				return err
-			}
-			if err := emitCSV("execmodel", res); err != nil {
-				return err
-			}
-			return res.Matrix().Render(os.Stdout)
+		"fig6": {
+			run:    func() error { return runFig6(params(experiments.Fig6Paper)) },
+			params: func() any { return params(experiments.Fig6Paper) },
 		},
-		"metrics": func() error {
-			cfg := experiments.MetricsConfig{
-				Params:      params(experiments.Table12Paper),
-				MetricOrder: 7,
-				QuerySide:   8,
-				QueryTrials: 5000,
-			}
-			if *full {
-				cfg.MetricOrder = 9
-			}
-			announce(cfg.Params)
-			res, err := experiments.RunMetrics(cfg)
-			if err != nil {
-				return err
-			}
-			if err := emitCSV("metrics", res); err != nil {
-				return err
-			}
-			return res.Matrix().Render(os.Stdout)
+		"fig7": {
+			run:    func() error { return runFig7(params(experiments.Fig7Paper)) },
+			params: func() any { return params(experiments.Fig7Paper) },
+		},
+		"radius": {
+			run:    func() error { return runRadius(params(experiments.Table12Paper)) },
+			params: table12Params,
+		},
+		"nsweep": {
+			run:    func() error { return runNSweep(params(experiments.Table12Paper)) },
+			params: table12Params,
+		},
+		"meshtorus": {
+			run:    func() error { return runMeshTorus(params(experiments.Table12Paper)) },
+			params: table12Params,
+		},
+		"primitives": {
+			run:    func() error { return runPrimitives(params(experiments.Table12Paper)) },
+			params: table12Params,
+		},
+		"contention": {
+			run:    func() error { return runContention(params(experiments.Table12Paper)) },
+			params: table12Params,
+		},
+		"dynamic": {
+			run:    func() error { return runDynamic(params(experiments.Table12Paper)) },
+			params: table12Params,
+		},
+		"threed": {
+			run:    func() error { return runThreeD(threedParams()) },
+			params: func() any { return threedParams() },
+		},
+		"clustering": {
+			run: func() error {
+				order, trials := clusteringParams()
+				return runClustering(order, trials)
+			},
+			params: func() any {
+				order, trials := clusteringParams()
+				return map[string]any{"order": order, "trials": trials}
+			},
+		},
+		"loadbalance": {
+			run: func() error {
+				p := params(experiments.Table12Paper)
+				announce(p)
+				res, err := experiments.RunLoadBalance(p)
+				if err != nil {
+					return err
+				}
+				if err := emitCSV("loadbalance", res); err != nil {
+					return err
+				}
+				return res.Matrix().Render(os.Stdout)
+			},
+			params: table12Params,
+		},
+		"execmodel": {
+			run: func() error {
+				p := params(experiments.Table12Paper)
+				announce(p)
+				res, err := experiments.RunExecModel(p)
+				if err != nil {
+					return err
+				}
+				if err := emitCSV("execmodel", res); err != nil {
+					return err
+				}
+				return res.Matrix().Render(os.Stdout)
+			},
+			params: table12Params,
+		},
+		"metrics": {
+			run: func() error {
+				cfg := metricsConfig()
+				announce(cfg.Params)
+				res, err := experiments.RunMetrics(cfg)
+				if err != nil {
+					return err
+				}
+				if err := emitCSV("metrics", res); err != nil {
+					return err
+				}
+				return res.Matrix().Render(os.Stdout)
+			},
+			params: func() any { return metricsConfig() },
 		},
 	}
-	names := []string{"table12", "fig6", "fig7", "radius", "nsweep", "meshtorus", "primitives", "contention", "dynamic", "threed", "clustering", "loadbalance", "execmodel", "metrics"}
 
 	todo := []string{*experiment}
 	if *experiment == "all" {
 		todo = names
 	}
+	manifest := obs.NewManifest("acdbench")
 	for _, name := range todo {
-		run, ok := runners[name]
+		spec, ok := runners[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "acdbench: unknown experiment %q (choose from %v or all)\n", name, names)
-			os.Exit(2)
+			return 2
 		}
+		logger.Debug("starting experiment", "experiment", name)
+		obs.TakeSpans() // drop any stale phases from a failed predecessor
 		start := time.Now()
-		if err := run(); err != nil {
+		if err := spec.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "acdbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		manifest.AddExperiment(name, spec.params(), wall, obs.TakeSpans())
+		manifest.ObserveMemStats()
+		logger.Info("experiment completed", "experiment", name, "wall", wall.Round(time.Millisecond))
 	}
+
+	// Derived gauge: share of communication events that stayed local.
+	if events := obs.GetCounter("acd.events").Value(); events > 0 {
+		zeros := obs.GetCounter("acd.zero_hops").Value()
+		obs.GetGauge("acd.zero_hop_fraction").Set(float64(zeros) / float64(events))
+	}
+	manifest.Metrics = obs.Default().Snapshot()
+
+	if *report != "" {
+		if *determin {
+			manifest.Deterministic()
+		}
+		if err := manifest.WriteFile(*report); err != nil {
+			logger.Error("report", "err", err)
+			return 1
+		}
+		logger.Info("wrote run manifest", "path", *report)
+	}
+	if *memProf != "" {
+		runtime.GC() // materialize final live-heap figures
+		f, err := os.Create(*memProf)
+		if err != nil {
+			logger.Error("memprofile", "err", err)
+			return 1
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			logger.Error("memprofile", "err", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			logger.Error("memprofile close", "err", err)
+			return 1
+		}
+		logger.Info("wrote heap profile", "path", *memProf)
+	}
+	return 0
 }
 
 func announce(p experiments.Params) {
-	fmt.Printf("parameters: n=%d, resolution=%dx%d, p=%d, radius=%d, trials=%d, seed=%d\n\n",
-		p.Particles, 1<<p.Order, 1<<p.Order, p.P(), p.Radius, p.Trials, p.Seed)
+	logger.Info("parameters",
+		"n", p.Particles, "resolution", fmt.Sprintf("%dx%d", 1<<p.Order, 1<<p.Order),
+		"p", p.P(), "radius", p.Radius, "trials", p.Trials, "seed", p.Seed)
 }
 
 func runTable12(p experiments.Params) error {
@@ -290,7 +491,7 @@ func runMeshTorus(p experiments.Params) error {
 }
 
 func runPrimitives(p experiments.Params) error {
-	fmt.Printf("parameters: p=%d\n\n", p.P())
+	logger.Info("parameters", "p", p.P())
 	res := experiments.RunPrimitives(p.ProcOrder)
 	mesh, torus := res.Matrices()
 	if err := mesh.Render(os.Stdout); err != nil {
@@ -329,12 +530,9 @@ func runDynamic(p experiments.Params) error {
 	return reorder.Render(os.Stdout)
 }
 
-func runClustering(full bool) error {
-	order, trials := uint(8), 2000
-	if full {
-		order, trials = 10, 10000
-	}
-	fmt.Printf("parameters: resolution=%dx%d, trials=%d per query size\n\n", 1<<order, 1<<order, trials)
+func runClustering(order uint, trials int) error {
+	logger.Info("parameters",
+		"resolution", fmt.Sprintf("%dx%d", 1<<order, 1<<order), "trials_per_query_size", trials)
 	res, err := experiments.RunClustering(order, []uint32{2, 4, 8, 16, 32}, trials, 2013)
 	if err != nil {
 		return err
@@ -345,16 +543,10 @@ func runClustering(full bool) error {
 	return res.SeriesTable().Render(os.Stdout)
 }
 
-func runThreeD(full bool) error {
-	p := experiments.ThreeDDefault
-	if full {
-		p.Particles = 200000
-		p.Order = 7     // 128^3 cells
-		p.ProcOrder = 3 // 512 processors on an 8x8x8 torus
-		p.ANNSOrder = 5 // 32^3 full grid
-	}
-	fmt.Printf("parameters: n=%d, resolution=%d^3, p=%d, radius=%d, trials=%d, seed=%d\n\n",
-		p.Particles, 1<<p.Order, 1<<(3*p.ProcOrder), p.Radius, p.Trials, p.Seed)
+func runThreeD(p experiments.ThreeDParams) error {
+	logger.Info("parameters",
+		"n", p.Particles, "resolution", fmt.Sprintf("%d^3", 1<<p.Order),
+		"p", 1<<(3*p.ProcOrder), "radius", p.Radius, "trials", p.Trials, "seed", p.Seed)
 	res, err := experiments.RunThreeD(p)
 	if err != nil {
 		return err

@@ -15,8 +15,21 @@ import (
 	"fmt"
 
 	"sfcacd/internal/geom"
+	"sfcacd/internal/obs"
 	"sfcacd/internal/partition"
 	"sfcacd/internal/sfc"
+)
+
+// Observability metrics. Accumulators are built in per-worker locals
+// and merged, so the hot Add path stays plain field arithmetic; the
+// model entry points (internal/fmmmodel, internal/model3d) publish
+// final merged accumulators via Record once per evaluation.
+var (
+	eventsCounter  = obs.GetCounter("acd.events")
+	zeroHopCounter = obs.GetCounter("acd.zero_hops")
+	assignCounter  = obs.GetCounter("acd.assignments")
+	// assignTime buckets span 10µs..10s+ in 4x steps.
+	assignTime = obs.GetHistogram("acd.assign_ns", obs.ExponentialBuckets(1e4, 4, 11))
 )
 
 // Accumulator tallies communication events and their hop distances.
@@ -27,24 +40,53 @@ type Accumulator struct {
 	// Count is the number of recorded communication events, including
 	// zero-hop (same processor) events per §IV step 6.
 	Count uint64
+	// Zeros is the number of zero-hop events: communications that stay
+	// on the owning processor. Zeros/Count is the zero-hop fraction —
+	// the share of traffic the assignment kept local.
+	Zeros uint64
 }
 
 // Add records one communication of the given hop distance.
 func (a *Accumulator) Add(hops int) {
 	a.Sum += uint64(hops)
 	a.Count++
+	if hops == 0 {
+		a.Zeros++
+	}
 }
 
 // AddN records n communications of the same hop distance.
 func (a *Accumulator) AddN(hops, n int) {
 	a.Sum += uint64(hops) * uint64(n)
 	a.Count += uint64(n)
+	if hops == 0 {
+		a.Zeros += uint64(n)
+	}
 }
 
 // Merge folds another accumulator into this one.
 func (a *Accumulator) Merge(b Accumulator) {
 	a.Sum += b.Sum
 	a.Count += b.Count
+	a.Zeros += b.Zeros
+}
+
+// ZeroHopFraction returns Zeros/Count, the share of communications
+// that stayed on their processor. It is 0 for an empty accumulator.
+func (a Accumulator) ZeroHopFraction() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.Zeros) / float64(a.Count)
+}
+
+// Record publishes the accumulator's tallies to the obs registry
+// ("acd.events", "acd.zero_hops"). Call it exactly once per final
+// merged accumulator — model entry points do this; callers composing
+// accumulators further (e.g. FFIResult.Total) must not re-record.
+func (a Accumulator) Record() {
+	eventsCounter.Add(a.Count)
+	zeroHopCounter.Add(a.Zeros)
 }
 
 // ACD returns the Average Communicated Distance: Sum/Count. It is 0
@@ -97,7 +139,13 @@ func Assign(particles []geom.Point, curve sfc.Curve, order uint, p int) (*Assign
 	if len(particles) == 0 {
 		return nil, fmt.Errorf("acd: no particles")
 	}
+	assignCounter.Inc()
+	defer obs.StartTimer(assignTime)()
+	ordering := obs.StartSpan("ordering")
 	perm := sfc.SortPoints(curve, order, particles)
+	ordering.End()
+	partitioning := obs.StartSpan("partitioning")
+	defer partitioning.End()
 	a := &Assignment{
 		Order:     order,
 		P:         p,
@@ -151,6 +199,9 @@ func FromOwners(particles []geom.Point, ranks []int32, order uint, p int) (*Assi
 	if len(particles) != len(ranks) {
 		return nil, fmt.Errorf("acd: %d particles for %d ranks", len(particles), len(ranks))
 	}
+	assignCounter.Inc()
+	defer obs.StartTimer(assignTime)()
+	defer obs.StartSpan("partitioning").End()
 	a := &Assignment{
 		Order:     order,
 		P:         p,

@@ -12,6 +12,7 @@ import (
 
 	"sfcacd/internal/acd"
 	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/obs"
 	"sfcacd/internal/topology"
 )
 
@@ -100,11 +101,15 @@ func (t *Tally) TotalCost(c CostParams) (float64, error) {
 // evaluation (including same-processor ones) is a unit of local work
 // at the owner.
 func CollectNFI(a *acd.Assignment, topo topology.Topology, opts fmmmodel.NFIOptions) *Tally {
+	defer obs.StartSpan("accumulation.nfi").End()
 	t := NewTally(topo.P())
+	var queries uint64
 	fmmmodel.VisitNFIPairs(a, opts, func(src, dst int32) {
 		t.AddWork(src, 1)
 		t.Message(src, topo.Distance(int(src), int(dst)))
+		queries++
 	})
+	topology.CountDistanceQueries(queries)
 	return t
 }
 
@@ -113,11 +118,15 @@ func CollectNFI(a *acd.Assignment, topo topology.Topology, opts fmmmodel.NFIOpti
 // source representative, with one unit of work per event at the
 // source.
 func CollectFFI(a *acd.Assignment, topo topology.Topology) *Tally {
+	defer obs.StartSpan("accumulation.ffi").End()
 	t := NewTally(topo.P())
+	var queries uint64
 	fmmmodel.VisitFFIPairs(a, func(src, dst int32) {
 		t.AddWork(src, 1)
 		t.Message(src, topo.Distance(int(src), int(dst)))
+		queries++
 	})
+	topology.CountDistanceQueries(queries)
 	return t
 }
 

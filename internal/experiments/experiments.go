@@ -13,6 +13,7 @@ import (
 
 	"sfcacd/internal/dist"
 	"sfcacd/internal/geom"
+	"sfcacd/internal/obs"
 	"sfcacd/internal/rng"
 	"sfcacd/internal/sfc"
 	"sfcacd/internal/topology"
@@ -98,6 +99,7 @@ func trialSeed(base uint64, trial int) uint64 {
 
 // samplePoints draws the trial's unique particle set.
 func samplePoints(s dist.Sampler, p Params, trial int) ([]geom.Point, error) {
+	defer obs.StartSpan("sampling").End()
 	r := rng.New(trialSeed(p.Seed, trial))
 	return dist.SampleUnique(s, r, p.Order, p.Particles)
 }

@@ -60,8 +60,17 @@ func RunPrimitives(procOrder uint) PrimitivesResult {
 		mesh := topology.NewMesh(procOrder, curve)
 		torus := topology.NewTorus(procOrder, curve)
 		for i, p := range pats {
-			res.Mesh[i][c] = p.Run(mesh).ACD()
-			res.Torus[i][c] = p.Run(torus).ACD()
+			for g, topo := range []topology.Topology{mesh, torus} {
+				acc := p.Run(topo)
+				acc.Record()
+				// Each primitive event costs one Distance query.
+				topology.CountDistanceQueries(acc.Count)
+				if g == 0 {
+					res.Mesh[i][c] = acc.ACD()
+				} else {
+					res.Torus[i][c] = acc.ACD()
+				}
+			}
 		}
 	}
 	return res

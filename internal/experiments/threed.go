@@ -6,6 +6,7 @@ import (
 	"sfcacd/internal/dist"
 	"sfcacd/internal/geom3"
 	"sfcacd/internal/model3d"
+	"sfcacd/internal/obs"
 	"sfcacd/internal/rng"
 	"sfcacd/internal/sfc"
 	"sfcacd/internal/tablefmt"
@@ -92,7 +93,9 @@ func RunThreeD(p ThreeDParams) (ThreeDResult, error) {
 	}
 	procs := 1 << (3 * p.ProcOrder)
 	for trial := 0; trial < p.Trials; trial++ {
+		sampling := obs.StartSpan("sampling")
 		pts, err := dist.SampleUnique3(dist.Uniform3, rng.New(trialSeed(p.Seed, trial)), p.Order, p.Particles)
+		sampling.End()
 		if err != nil {
 			return ThreeDResult{}, err
 		}

@@ -22,6 +22,7 @@ import (
 
 	"sfcacd/internal/acd"
 	"sfcacd/internal/geom"
+	"sfcacd/internal/obs"
 	"sfcacd/internal/quadtree"
 	"sfcacd/internal/topology"
 )
@@ -54,6 +55,7 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // particle pair (x, y) with d(x, y) <= r contributes one communication
 // event of the owning processors' hop distance (possibly zero).
 func NFI(a *acd.Assignment, topo topology.Topology, opts NFIOptions) acd.Accumulator {
+	defer obs.StartSpan("accumulation.nfi").End()
 	opts.normalize()
 	n := a.N()
 	workers := opts.Workers
@@ -86,6 +88,9 @@ func NFI(a *acd.Assignment, topo topology.Topology, opts NFIOptions) acd.Accumul
 	for w := 0; w < workers; w++ {
 		total.Merge(<-results)
 	}
+	// Publish in bulk: one Distance call per recorded event.
+	total.Record()
+	topology.CountDistanceQueries(total.Count)
 	return total
 }
 
@@ -114,6 +119,16 @@ func (r FFIResult) Total() acd.Accumulator {
 	return t
 }
 
+// record publishes the three final accumulators and the Distance-call
+// volume. Interpolation and anterpolation share one Distance call per
+// parent-child link, so only the interpolation count contributes.
+func (r FFIResult) record() {
+	r.Interpolation.Record()
+	r.Anterpolation.Record()
+	r.InteractionList.Record()
+	topology.CountDistanceQueries(r.Interpolation.Count + r.InteractionList.Count)
+}
+
 // FFIOptions configures the far-field model.
 type FFIOptions struct {
 	// Workers caps the worker goroutines; 0 means GOMAXPROCS.
@@ -130,6 +145,7 @@ func FFI(a *acd.Assignment, topo topology.Topology, opts FFIOptions) FFIResult {
 // FFIFromTree computes the far-field ACD from a prebuilt representative
 // tree (letting callers amortize tree construction across topologies).
 func FFIFromTree(tree *quadtree.RankTree, topo topology.Topology, opts FFIOptions) FFIResult {
+	defer obs.StartSpan("accumulation.ffi").End()
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -150,6 +166,7 @@ func FFIFromTree(tree *quadtree.RankTree, topo topology.Topology, opts FFIOption
 	for l := uint(2); l <= tree.Order; l++ {
 		res.InteractionList.Merge(interactionLevel(tree, topo, l, opts.Workers))
 	}
+	res.record()
 	return res
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"sfcacd/internal/acd"
 	"sfcacd/internal/geom"
+	"sfcacd/internal/obs"
 	"sfcacd/internal/quadtree"
 	"sfcacd/internal/topology"
 )
@@ -18,6 +19,7 @@ import (
 // NFIMulti computes the near-field accumulator of the assignment under
 // each of the given topologies in one traversal.
 func NFIMulti(a *acd.Assignment, topos []topology.Topology, opts NFIOptions) []acd.Accumulator {
+	defer obs.StartSpan("accumulation.nfi").End()
 	opts.normalize()
 	n := a.N()
 	workers := opts.Workers
@@ -55,6 +57,12 @@ func NFIMulti(a *acd.Assignment, topos []topology.Topology, opts NFIOptions) []a
 			total[t].Merge(local[t])
 		}
 	}
+	var queries uint64
+	for t := range total {
+		total[t].Record()
+		queries += total[t].Count // one Distance call per event per topology
+	}
+	topology.CountDistanceQueries(queries)
 	return total
 }
 
@@ -68,6 +76,7 @@ func FFIMulti(a *acd.Assignment, topos []topology.Topology, opts FFIOptions) []F
 
 // FFIMultiFromTree is FFIMulti over a prebuilt representative tree.
 func FFIMultiFromTree(tree *quadtree.RankTree, topos []topology.Topology, opts FFIOptions) []FFIResult {
+	defer obs.StartSpan("accumulation.ffi").End()
 	if opts.Workers <= 0 {
 		opts.Workers = defaultWorkers()
 	}
@@ -87,6 +96,9 @@ func FFIMultiFromTree(tree *quadtree.RankTree, topos []topology.Topology, opts F
 		for t := range res {
 			res[t].InteractionList.Merge(level[t])
 		}
+	}
+	for t := range res {
+		res[t].record()
 	}
 	return res
 }

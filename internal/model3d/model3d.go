@@ -14,6 +14,7 @@ import (
 	"sfcacd/internal/acd"
 	"sfcacd/internal/geom"
 	"sfcacd/internal/geom3"
+	"sfcacd/internal/obs"
 	"sfcacd/internal/octree"
 	"sfcacd/internal/partition"
 	"sfcacd/internal/sfc"
@@ -110,6 +111,7 @@ type NFIOptions struct {
 
 // NFI computes the 3D near-field ACD.
 func NFI(a *Assignment, topo topology.Topology, opts NFIOptions) acd.Accumulator {
+	defer obs.StartSpan("accumulation.nfi").End()
 	if opts.Radius == 0 {
 		opts.Radius = 1
 	}
@@ -147,6 +149,9 @@ func NFI(a *Assignment, topo topology.Topology, opts NFIOptions) acd.Accumulator
 	for w := 0; w < workers; w++ {
 		total.Merge(<-results)
 	}
+	// One Distance call per recorded event.
+	total.Record()
+	topology.CountDistanceQueries(total.Count)
 	return total
 }
 
@@ -168,10 +173,13 @@ func (r FFIResult) Total() acd.Accumulator {
 
 // FFI computes the 3D far-field ACD over the octree.
 func FFI(a *Assignment, topo topology.Topology, workers int) FFIResult {
+	defer obs.StartSpan("accumulation.ffi").End()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	treebuild := obs.StartSpan("treebuild")
 	tree := octree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+	treebuild.End()
 	var res FFIResult
 	for l := tree.Order; l >= 1; l-- {
 		tree.VisitCells(l, func(p geom3.Point3, rep int32) {
@@ -184,6 +192,12 @@ func FFI(a *Assignment, topo topology.Topology, workers int) FFIResult {
 	for l := uint(2); l <= tree.Order; l++ {
 		res.InteractionList.Merge(interactionLevel3D(tree, topo, l, workers))
 	}
+	res.Interpolation.Record()
+	res.Anterpolation.Record()
+	res.InteractionList.Record()
+	// Interpolation and anterpolation share one Distance call per
+	// parent-child link, so only the interpolation count contributes.
+	topology.CountDistanceQueries(res.Interpolation.Count + res.InteractionList.Count)
 	return res
 }
 

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// ManifestSchema identifies the manifest JSON layout. Bump when
+// changing field names or semantics.
+const ManifestSchema = "sfcacd/run-manifest/v1"
+
+// Manifest is the JSON artifact a benchmark run emits: what ran, with
+// which parameters, how long each phase took, and what the metric
+// registries observed. It is the expected before/after evidence format
+// for performance PRs (see README, "Profiling and run manifests").
+//
+// Field order is fixed by this struct and map keys marshal sorted, so
+// two manifests with equal values are byte-identical.
+type Manifest struct {
+	Schema      string             `json:"schema"`
+	Tool        string             `json:"tool,omitempty"`
+	CreatedAt   string             `json:"created_at,omitempty"`
+	Env         *Env               `json:"env,omitempty"`
+	Experiments []ExperimentRecord `json:"experiments,omitempty"`
+	Metrics     Snapshot           `json:"metrics"`
+	Mem         *MemPeaks          `json:"mem,omitempty"`
+}
+
+// Env records the execution environment.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// ExperimentRecord is one experiment's entry: its parameters, total
+// wall time, and collected phase tree.
+type ExperimentRecord struct {
+	Name   string          `json:"name"`
+	Params any             `json:"params,omitempty"`
+	WallNs int64           `json:"wall_ns"`
+	Phases []PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// MemPeaks holds peak and cumulative runtime.MemStats figures, folded
+// over every ObserveMemStats call.
+type MemPeaks struct {
+	PeakHeapAllocBytes uint64 `json:"peak_heap_alloc_bytes"`
+	PeakSysBytes       uint64 `json:"peak_sys_bytes"`
+	TotalAllocBytes    uint64 `json:"total_alloc_bytes"`
+	Mallocs            uint64 `json:"mallocs"`
+	NumGC              uint32 `json:"num_gc"`
+	GCPauseTotalNs     uint64 `json:"gc_pause_total_ns"`
+}
+
+// NewManifest returns a manifest stamped with the current time and
+// environment.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{
+		Schema:    ManifestSchema,
+		Tool:      tool,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Env: &Env{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		},
+	}
+}
+
+// AddExperiment appends one experiment record.
+func (m *Manifest) AddExperiment(name string, params any, wall time.Duration, phases []PhaseSnapshot) {
+	m.Experiments = append(m.Experiments, ExperimentRecord{
+		Name:   name,
+		Params: params,
+		WallNs: wall.Nanoseconds(),
+		Phases: phases,
+	})
+}
+
+// ObserveMemStats reads runtime.MemStats and folds it into Mem,
+// keeping peaks of the level quantities and the latest cumulative
+// ones. Call it after each experiment to approximate peak usage.
+func (m *Manifest) ObserveMemStats() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if m.Mem == nil {
+		m.Mem = &MemPeaks{}
+	}
+	if ms.HeapAlloc > m.Mem.PeakHeapAllocBytes {
+		m.Mem.PeakHeapAllocBytes = ms.HeapAlloc
+	}
+	if ms.Sys > m.Mem.PeakSysBytes {
+		m.Mem.PeakSysBytes = ms.Sys
+	}
+	m.Mem.TotalAllocBytes = ms.TotalAlloc
+	m.Mem.Mallocs = ms.Mallocs
+	m.Mem.NumGC = ms.NumGC
+	m.Mem.GCPauseTotalNs = ms.PauseTotalNs
+}
+
+// Deterministic strips or zeroes every field whose value depends on
+// wall-clock time or the host machine, leaving only seed-reproducible
+// content: experiment names, parameters, phase structure and call
+// counts, counter and gauge values, and histogram observation counts.
+// Used by the golden-file manifest test and by `acdbench
+// -deterministic`.
+func (m *Manifest) Deterministic() {
+	m.CreatedAt = ""
+	m.Env = nil
+	m.Mem = nil
+	for i := range m.Experiments {
+		m.Experiments[i].WallNs = 0
+		zeroPhaseNs(m.Experiments[i].Phases)
+	}
+	for name, h := range m.Metrics.Histograms {
+		h.Sum = 0
+		h.Min = 0
+		h.Max = 0
+		for i := range h.Counts {
+			h.Counts[i] = 0
+		}
+		m.Metrics.Histograms[name] = h
+	}
+}
+
+func zeroPhaseNs(phases []PhaseSnapshot) {
+	for i := range phases {
+		phases[i].Ns = 0
+		zeroPhaseNs(phases[i].Children)
+	}
+}
+
+// Encode writes the manifest as indented JSON.
+func (m *Manifest) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path, failing on any write or
+// close error so truncated manifests are never reported as success.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing manifest %s: %w", path, err)
+	}
+	return f.Close()
+}

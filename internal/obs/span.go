@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer builds a hierarchical wall-clock phase tree. Unlike a
+// distributed-tracing span store, same-named phases under the same
+// parent are merged: starting "sampling" fifteen times under one
+// experiment yields a single node with Calls == 15 and the summed
+// duration. That keeps run manifests compact and structurally
+// deterministic for seeded runs even when call counts are large.
+//
+// Start/End follow stack (LIFO) discipline on a single goroutine per
+// tracer; the experiment drivers are sequential, so this holds by
+// construction. The tracer itself is mutex-guarded, so concurrent use
+// is memory-safe — interleaved phases from racing goroutines would
+// merely nest unpredictably.
+type Tracer struct {
+	mu      sync.Mutex
+	gen     uint64
+	root    *phase
+	current *phase
+}
+
+// phase is one node of the live tree.
+type phase struct {
+	name     string
+	calls    uint64
+	ns       int64
+	parent   *phase
+	children []*phase
+	index    map[string]*phase
+}
+
+func (p *phase) child(name string) *phase {
+	if c, ok := p.index[name]; ok {
+		return c
+	}
+	c := &phase{name: name, parent: p}
+	if p.index == nil {
+		p.index = make(map[string]*phase)
+	}
+	p.index[name] = c
+	p.children = append(p.children, c)
+	return c
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	root := &phase{}
+	return &Tracer{root: root, current: root}
+}
+
+var defaultTracer = NewTracer()
+
+// DefaultTracer returns the process-wide tracer that StartSpan and
+// TakeSpans operate on.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Span is an in-progress timing of one phase activation. End it
+// exactly once (End is idempotent; extra calls are no-ops).
+type Span struct {
+	t     *Tracer
+	node  *phase
+	prev  *phase
+	gen   uint64
+	start time.Time
+	done  bool
+}
+
+// Start opens (or re-enters) the named phase as a child of the
+// currently open phase and makes it current.
+func (t *Tracer) Start(name string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node := t.current.child(name)
+	node.calls++
+	t.current = node
+	return &Span{t: t, node: node, prev: node.parent, gen: t.gen, start: time.Now()}
+}
+
+// End closes the span, folding its elapsed wall time into the phase
+// node and restoring the parent as current. Ending a span that
+// outlived a Take/Reset is a safe no-op.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	elapsed := time.Since(s.start)
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gen != s.gen {
+		return // the tree this span belongs to was already collected
+	}
+	s.node.ns += int64(elapsed)
+	t.current = s.prev
+}
+
+// PhaseSnapshot is one node of a collected phase tree.
+type PhaseSnapshot struct {
+	// Name is the phase name passed to Start.
+	Name string `json:"name"`
+	// Calls is how many times the phase was entered.
+	Calls uint64 `json:"calls"`
+	// Ns is the summed wall-clock time of completed activations.
+	Ns int64 `json:"ns"`
+	// Children are nested phases in first-entered order.
+	Children []PhaseSnapshot `json:"children,omitempty"`
+}
+
+func snapshotPhase(p *phase) PhaseSnapshot {
+	s := PhaseSnapshot{Name: p.name, Calls: p.calls, Ns: p.ns}
+	for _, c := range p.children {
+		s.Children = append(s.Children, snapshotPhase(c))
+	}
+	return s
+}
+
+// Snapshot copies the current phase tree (top-level phases) without
+// clearing it.
+func (t *Tracer) Snapshot() []PhaseSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshotPhase(t.root).Children
+}
+
+// Take returns the current phase tree and resets the tracer to empty.
+// Spans still open when Take is called are abandoned: their phases
+// keep the call count, but the in-flight duration is dropped.
+func (t *Tracer) Take() []PhaseSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := snapshotPhase(t.root).Children
+	t.root = &phase{}
+	t.current = t.root
+	t.gen++
+	return out
+}
+
+// Reset discards the phase tree.
+func (t *Tracer) Reset() { t.Take() }
+
+// StartSpan opens a phase on the default tracer.
+func StartSpan(name string) *Span { return defaultTracer.Start(name) }
+
+// TakeSpans collects and clears the default tracer's phase tree.
+func TakeSpans() []PhaseSnapshot { return defaultTracer.Take() }
+
+// StartTimer returns a stop function that, when called, observes the
+// elapsed nanoseconds into the histogram.
+func StartTimer(h *Histogram) func() {
+	start := time.Now()
+	return func() { h.Observe(float64(time.Since(start).Nanoseconds())) }
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"sfcacd/internal/geom"
+	"sfcacd/internal/obs"
 )
 
 // RankTree records, for every cell of every resolution level, the
@@ -33,6 +34,7 @@ func BuildRankTree(order uint, pts []geom.Point, ranks []int32) *RankTree {
 	if len(pts) != len(ranks) {
 		panic("quadtree: pts and ranks length mismatch")
 	}
+	defer obs.StartSpan("treebuild").End()
 	t := &RankTree{Order: order, levels: make([][]int32, order+1)}
 	for l := uint(0); l <= order; l++ {
 		lv := make([]int32, geom.Cells(l))

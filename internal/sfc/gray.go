@@ -28,11 +28,13 @@ func GrayDecode(g uint64) uint64 {
 
 func (grayCurve) Index(order uint, p geom.Point) uint64 {
 	checkPoint(order, p)
+	grayStats.countEncode(int(p.X))
 	return GrayDecode(mortonEncode(p.X, p.Y))
 }
 
 func (grayCurve) Point(order uint, d uint64) geom.Point {
 	checkIndex(order, d)
+	grayStats.countDecode(int(d))
 	x, y := mortonDecode(GrayEncode(d))
 	return geom.Point{X: x, Y: y}
 }

@@ -13,6 +13,7 @@ func (hilbertCurve) Name() string { return "hilbert" }
 
 func (hilbertCurve) Index(order uint, p geom.Point) uint64 {
 	checkPoint(order, p)
+	hilbertStats.countEncode(int(p.X))
 	x, y := p.X, p.Y
 	var d uint64
 	for s := geom.Side(order) >> 1; s > 0; s >>= 1 {
@@ -39,6 +40,7 @@ func (hilbertCurve) Index(order uint, p geom.Point) uint64 {
 
 func (hilbertCurve) Point(order uint, d uint64) geom.Point {
 	checkIndex(order, d)
+	hilbertStats.countDecode(int(d))
 	var x, y uint32
 	t := d
 	for s := uint32(1); s < geom.Side(order); s <<= 1 {

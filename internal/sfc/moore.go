@@ -22,6 +22,7 @@ func (mooreCurve) Name() string { return "moore" }
 
 func (mooreCurve) Index(order uint, p geom.Point) uint64 {
 	checkPoint(order, p)
+	mooreStats.countEncode(int(p.X))
 	if order == 0 {
 		return 0
 	}
@@ -56,6 +57,7 @@ func (mooreCurve) Index(order uint, p geom.Point) uint64 {
 
 func (mooreCurve) Point(order uint, d uint64) geom.Point {
 	checkIndex(order, d)
+	mooreStats.countDecode(int(d))
 	if order == 0 {
 		return geom.Pt(0, 0)
 	}

@@ -46,11 +46,13 @@ func mortonDecode(d uint64) (x, y uint32) {
 
 func (mortonCurve) Index(order uint, p geom.Point) uint64 {
 	checkPoint(order, p)
+	mortonStats.countEncode(int(p.X))
 	return mortonEncode(p.X, p.Y)
 }
 
 func (mortonCurve) Point(order uint, d uint64) geom.Point {
 	checkIndex(order, d)
+	mortonStats.countDecode(int(d))
 	x, y := mortonDecode(d)
 	return geom.Point{X: x, Y: y}
 }

@@ -52,6 +52,7 @@ func (r RowMajorND) IndexND(order uint, coords []uint32) uint64 {
 	if len(coords) != r.N {
 		panic("sfc: coords length mismatch")
 	}
+	ndStats.countEncode(int(coords[0]))
 	side := uint64(1) << order
 	var d uint64
 	for i := 0; i < r.N; i++ {
@@ -69,6 +70,7 @@ func (r RowMajorND) CoordsND(order uint, d uint64, out []uint32) {
 	if len(out) != r.N {
 		panic("sfc: out length mismatch")
 	}
+	ndStats.countDecode(int(d))
 	side := uint64(1) << order
 	for i := r.N - 1; i >= 0; i-- {
 		out[i] = uint32(d % side)

@@ -50,6 +50,7 @@ func (m MortonND) IndexND(order uint, coords []uint32) uint64 {
 	if len(coords) != m.N {
 		panic("sfc: coords length mismatch")
 	}
+	ndStats.countEncode(int(coords[0]))
 	var d uint64
 	for bit := int(order) - 1; bit >= 0; bit-- {
 		for dim := m.N - 1; dim >= 0; dim-- {
@@ -65,6 +66,7 @@ func (m MortonND) CoordsND(order uint, d uint64, out []uint32) {
 	if len(out) != m.N {
 		panic("sfc: out length mismatch")
 	}
+	ndStats.countDecode(int(d))
 	for i := range out {
 		out[i] = 0
 	}
@@ -100,6 +102,7 @@ func (h HilbertND) IndexND(order uint, coords []uint32) uint64 {
 	if len(coords) != h.N {
 		panic("sfc: coords length mismatch")
 	}
+	ndStats.countEncode(int(coords[0]))
 	x := make([]uint32, h.N)
 	copy(x, coords)
 	axesToTranspose(x, order)
@@ -120,6 +123,7 @@ func (h HilbertND) CoordsND(order uint, d uint64, out []uint32) {
 	if len(out) != h.N {
 		panic("sfc: out length mismatch")
 	}
+	ndStats.countDecode(int(d))
 	for i := range out {
 		out[i] = 0
 	}

@@ -13,11 +13,13 @@ func (rowMajorCurve) Name() string { return "rowmajor" }
 
 func (rowMajorCurve) Index(order uint, p geom.Point) uint64 {
 	checkPoint(order, p)
+	rowMajorStats.countEncode(int(p.X))
 	return uint64(p.X)*uint64(geom.Side(order)) + uint64(p.Y)
 }
 
 func (rowMajorCurve) Point(order uint, d uint64) geom.Point {
 	checkIndex(order, d)
+	rowMajorStats.countDecode(int(d))
 	side := uint64(geom.Side(order))
 	return geom.Point{X: uint32(d / side), Y: uint32(d % side)}
 }
@@ -33,6 +35,7 @@ func (snakeCurve) Name() string { return "snake" }
 
 func (snakeCurve) Index(order uint, p geom.Point) uint64 {
 	checkPoint(order, p)
+	snakeStats.countEncode(int(p.X))
 	side := geom.Side(order)
 	y := p.Y
 	if p.X&1 == 1 {
@@ -43,6 +46,7 @@ func (snakeCurve) Index(order uint, p geom.Point) uint64 {
 
 func (snakeCurve) Point(order uint, d uint64) geom.Point {
 	checkIndex(order, d)
+	snakeStats.countDecode(int(d))
 	side := uint64(geom.Side(order))
 	x := uint32(d / side)
 	y := uint32(d % side)

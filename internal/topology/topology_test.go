@@ -7,30 +7,9 @@ import (
 	"sfcacd/internal/sfc"
 )
 
-// bfsDistances computes single-source shortest paths over a
-// NeighborLister, the ground truth for analytic Distance functions.
-func bfsDistances(t Topology, src int) []int {
-	nl := t.(NeighborLister)
-	dist := make([]int, t.P())
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []int{src}
-	var buf []int
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		buf = nl.Neighbors(cur, buf[:0])
-		for _, n := range buf {
-			if dist[n] == -1 {
-				dist[n] = dist[cur] + 1
-				queue = append(queue, n)
-			}
-		}
-	}
-	return dist
-}
+// bfsDistances is the exported BFSDistances; the alias keeps the many
+// existing call sites below unchanged.
+func bfsDistances(t Topology, src int) []int { return BFSDistances(t, src) }
 
 func verifyAgainstBFS(t *testing.T, topo Topology) {
 	t.Helper()
