@@ -8,7 +8,11 @@ import (
 	"testing"
 
 	"sfcacd"
+	"sfcacd/internal/acd"
 	"sfcacd/internal/experiments"
+	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/quadtree"
+	"sfcacd/internal/topology"
 )
 
 // benchParams is the shared scaled-down configuration.
@@ -259,5 +263,73 @@ func BenchmarkTorusDistance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		torus.Distance(i%p, (i*7)%p)
+	}
+}
+
+// --- Communication-matrix path (PR: topology-independent matrices) ---
+
+// commMatFixture builds one scaled assignment, its representative tree,
+// and the four processor-order tori the tables sweep.
+func commMatFixture(b *testing.B) (*acd.Assignment, *quadtree.RankTree, []topology.Topology) {
+	b.Helper()
+	r := sfcacd.NewRand(7)
+	pts, err := sfcacd.SampleUnique(sfcacd.Uniform, r, benchParams.Order, benchParams.Particles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := acd.Assign(pts, sfcacd.Hilbert, benchParams.Order, benchParams.P())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+	var topos []topology.Topology
+	for _, c := range sfcacd.Curves() {
+		topos = append(topos, topology.NewTorus(benchParams.ProcOrder, c))
+	}
+	return a, tree, topos
+}
+
+// BenchmarkCommMatBuild measures aggregating the near- and far-field
+// event streams into communication matrices — the one-traversal side of
+// the contraction split.
+func BenchmarkCommMatBuild(b *testing.B) {
+	a, tree, _ := commMatFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fmmmodel.NFIMatrix(a, fmmmodel.NFIOptions{Radius: benchParams.Radius})
+		fmmmodel.FFIMatricesFromTree(tree, a.P, 0)
+	}
+}
+
+// BenchmarkCommMatContract measures the per-topology side: contracting
+// prebuilt matrices against the four tori through distance tables.
+func BenchmarkCommMatContract(b *testing.B) {
+	a, tree, topos := commMatFixture(b)
+	nfi := fmmmodel.NFIMatrix(a, fmmmodel.NFIOptions{Radius: benchParams.Radius})
+	ffi := fmmmodel.FFIMatricesFromTree(tree, a.P, 0)
+	tables := make([]*topology.DistanceTable, len(topos))
+	for i, topo := range topos {
+		tables[i] = topology.NewDistanceTable(topo)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, dt := range tables {
+			var n, interp, il acd.Accumulator
+			nfi.ContractTableSym(dt, &n)
+			ffi.Interpolation.ContractTable(dt, &interp)
+			ffi.InteractionList.ContractTableSym(dt, &il)
+		}
+	}
+}
+
+// BenchmarkTable12MatrixPath measures the multi-topology accumulation
+// at the heart of Tables I/II: one shared traversal contracted against
+// all four processor-order tori.
+func BenchmarkTable12MatrixPath(b *testing.B) {
+	a, tree, topos := commMatFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{Radius: benchParams.Radius})
+		fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{})
 	}
 }

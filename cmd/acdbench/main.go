@@ -106,6 +106,7 @@ func run() int {
 		radius    = flag.Int("radius", 0, "override near-field radius")
 		trials    = flag.Int("trials", 0, "override trial count")
 		seed      = flag.Uint64("seed", 0, "override random seed")
+		workers   = flag.Int("workers", 0, "cap accumulation/matrix-build worker goroutines (0 = GOMAXPROCS)")
 		csvDirF   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
 		report    = flag.String("report", "", "write a JSON run manifest to this file")
 		determin  = flag.Bool("deterministic", false, "strip host- and time-dependent fields from the manifest")
@@ -182,6 +183,9 @@ func run() int {
 		}
 		if *seed > 0 {
 			p.Seed = *seed
+		}
+		if *workers > 0 {
+			p.Workers = *workers
 		}
 		return p
 	}
@@ -341,6 +345,13 @@ func run() int {
 	if events := obs.GetCounter("acd.events").Value(); events > 0 {
 		zeros := obs.GetCounter("acd.zero_hops").Value()
 		obs.GetGauge("acd.zero_hop_fraction").Set(float64(zeros) / float64(events))
+	}
+	// Derived gauge: events per distinct rank pair in the communication
+	// matrices — the factor the contraction path saved over per-event
+	// distance evaluation.
+	if pairs := obs.GetCounter("commmat.pairs").Value(); pairs > 0 {
+		events := obs.GetCounter("commmat.events").Value()
+		obs.GetGauge("commmat.dedup_ratio").Set(float64(events) / float64(pairs))
 	}
 	manifest.Metrics = obs.Default().Snapshot()
 

@@ -1,0 +1,229 @@
+package commmat
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/topology"
+)
+
+// refMatrix is the brute-force reference: a plain map from packed
+// (src, dst) to count.
+type refMatrix map[uint64]uint32
+
+func (r refMatrix) add(src, dst int32) {
+	r[uint64(uint32(src))<<32|uint64(uint32(dst))]++
+}
+
+// randomEvents yields a deterministic event stream over p ranks whose
+// deltas mix tight locality (the banded fast path) with occasional far
+// jumps (the overflow path), including dst < src pairs.
+func randomEvents(seed int64, p, n int) [][2]int32 {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([][2]int32, n)
+	for i := range events {
+		src := int32(rng.Intn(p))
+		var dst int32
+		switch rng.Intn(10) {
+		case 0: // far jump anywhere
+			dst = int32(rng.Intn(p))
+		case 1: // behind the source
+			dst = src - int32(rng.Intn(64))
+			if dst < 0 {
+				dst = 0
+			}
+		default: // tight forward locality
+			dst = src + int32(rng.Intn(48))
+			if dst >= int32(p) {
+				dst = int32(p) - 1
+			}
+		}
+		events[i] = [2]int32{src, dst}
+	}
+	return events
+}
+
+// checkAgainstRef verifies the matrix against the brute-force map and
+// that Visit yields strictly ascending (src, dst) order.
+func checkAgainstRef(t *testing.T, m *Matrix, ref refMatrix) {
+	t.Helper()
+	var events uint64
+	seen := 0
+	prev := int64(-1)
+	m.Visit(func(src, dst int32, n uint32) {
+		key := int64(src)<<32 | int64(dst)
+		if key <= prev {
+			t.Fatalf("Visit order not ascending: (%d,%d) after %d", src, dst, prev)
+		}
+		prev = key
+		want := ref[uint64(uint32(src))<<32|uint64(uint32(dst))]
+		if n != want {
+			t.Fatalf("pair (%d,%d): got %d events, want %d", src, dst, n, want)
+		}
+		seen++
+		events += uint64(n)
+	})
+	if seen != len(ref) {
+		t.Fatalf("matrix has %d pairs, reference has %d", seen, len(ref))
+	}
+	if m.Pairs() != len(ref) || m.Events() != events {
+		t.Fatalf("accounting: Pairs=%d Events=%d, want %d/%d", m.Pairs(), m.Events(), len(ref), events)
+	}
+}
+
+func buildWith(p, workers int, events [][2]int32) *Matrix {
+	b := NewBuilder(p, workers)
+	for i, e := range events {
+		b.Shard(i%workers).Add(e[0], e[1])
+	}
+	return b.Finalize()
+}
+
+// TestBuilderMatchesBruteForce covers every aggregation mode: dense
+// final form, full-grid CSR, banded grid with overflow, a deliberately
+// narrow band, and the overflow-only fallback for huge p.
+func TestBuilderMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		name string
+		p, n int
+	}{
+		{"dense", 64, 5000},            // p*p <= denseCells
+		{"fullCSR", 600, 20000},        // full grid, CSR output
+		{"banded", 4096, 40000},        // p*p > maxScratchCells: delta band
+		{"overflowOnly", 200000, 3000}, // stride rounds to 0
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events := randomEvents(int64(tc.p), tc.p, tc.n)
+			ref := refMatrix{}
+			for _, e := range events {
+				ref.add(e[0], e[1])
+			}
+			for _, workers := range []int{1, 3} {
+				checkAgainstRef(t, buildWith(tc.p, workers, events), ref)
+			}
+		})
+	}
+}
+
+// TestBandedHintStaysExact pins that a caller-supplied band narrower
+// than the stream's real spread only moves pairs to the overflow path,
+// never changes the result.
+func TestBandedHintStaysExact(t *testing.T) {
+	const p, n = 2000, 30000
+	events := randomEvents(7, p, n)
+	ref := refMatrix{}
+	for _, e := range events {
+		ref.add(e[0], e[1])
+	}
+	b := NewBuilderBanded(p, 2, 64)
+	for i, e := range events {
+		b.Shard(i%2).Add(e[0], e[1])
+	}
+	checkAgainstRef(t, b.Finalize(), ref)
+}
+
+// TestDeterministicAcrossWorkers: the finalized matrix is identical no
+// matter how the stream is sharded.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	const p, n = 4096, 30000
+	events := randomEvents(11, p, n)
+	base := buildWith(p, 1, events)
+	for _, workers := range []int{2, 5, 16} {
+		m := buildWith(p, workers, events)
+		if m.Pairs() != base.Pairs() || m.Events() != base.Events() {
+			t.Fatalf("workers=%d: pairs/events diverged", workers)
+		}
+		type pair struct {
+			src, dst int32
+			n        uint32
+		}
+		var a, b []pair
+		base.Visit(func(s, d int32, n uint32) { a = append(a, pair{s, d, n}) })
+		m.Visit(func(s, d int32, n uint32) { b = append(b, pair{s, d, n}) })
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("workers=%d: entry %d diverged: %+v vs %+v", workers, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestBuildSerialMatchesBuilder: the convenience path is the builder.
+func TestBuildSerialMatchesBuilder(t *testing.T) {
+	const p, n = 600, 8000
+	events := randomEvents(13, p, n)
+	ref := refMatrix{}
+	for _, e := range events {
+		ref.add(e[0], e[1])
+	}
+	m := BuildSerial(p, func(emit func(src, dst int32)) {
+		for _, e := range events {
+			emit(e[0], e[1])
+		}
+	})
+	checkAgainstRef(t, m, ref)
+}
+
+// TestContractEquivalence: Contract == per-event accumulation,
+// ContractTable == Contract, and the Sym variants weight each pair
+// exactly twice.
+func TestContractEquivalence(t *testing.T) {
+	for _, p := range []int{64, 600, 4096} {
+		events := randomEvents(int64(p)+1, p, 20000)
+		m := buildWith(p, 2, events)
+		topo := topology.NewBus(p)
+
+		var direct acd.Accumulator
+		for _, e := range events {
+			direct.Add(topo.Distance(int(e[0]), int(e[1])))
+		}
+		var viaMatrix, viaTable, sym, symTable acd.Accumulator
+		m.Contract(topo, &viaMatrix)
+		dt := topology.NewDistanceTable(topo)
+		m.ContractTable(dt, &viaTable)
+		m.ContractSym(topo, &sym)
+		m.ContractTableSym(dt, &symTable)
+
+		if viaMatrix != direct {
+			t.Fatalf("p=%d: Contract %+v != direct %+v", p, viaMatrix, direct)
+		}
+		if viaTable != direct {
+			t.Fatalf("p=%d: ContractTable %+v != direct %+v", p, viaTable, direct)
+		}
+		want := acd.Accumulator{Sum: 2 * direct.Sum, Count: 2 * direct.Count, Zeros: 2 * direct.Zeros}
+		if sym != want || symTable != want {
+			t.Fatalf("p=%d: Sym contraction %+v / %+v != doubled %+v", p, sym, symTable, want)
+		}
+	}
+}
+
+// TestConcurrentShards drives all shards from separate goroutines —
+// the case the race detector must bless.
+func TestConcurrentShards(t *testing.T) {
+	const p, workers, perWorker = 4096, 8, 5000
+	b := NewBuilder(p, workers)
+	ref := refMatrix{}
+	streams := make([][][2]int32, workers)
+	for w := range streams {
+		streams[w] = randomEvents(int64(100+w), p, perWorker)
+		for _, e := range streams[w] {
+			ref.add(e[0], e[1])
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := b.Shard(w)
+			for _, e := range streams[w] {
+				s.Add(e[0], e[1])
+			}
+		}(w)
+	}
+	wg.Wait()
+	checkAgainstRef(t, b.Finalize(), ref)
+}

@@ -34,6 +34,11 @@ type Params struct {
 	Trials int
 	// Seed drives all sampling; equal seeds replay exactly.
 	Seed uint64
+	// Workers caps the worker goroutines of the accumulation and
+	// matrix-build passes; 0 means GOMAXPROCS. Results are identical
+	// for any worker count; the knob exists to pin parallelism for
+	// benchmarking and is recorded in run manifests.
+	Workers int
 }
 
 // P returns the processor count 4^ProcOrder.
@@ -55,6 +60,9 @@ func (p Params) Validate() error {
 	}
 	if p.Radius < 0 {
 		return fmt.Errorf("experiments: negative radius")
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("experiments: negative worker count")
 	}
 	return nil
 }

@@ -79,10 +79,10 @@ func RunFig6(p Params) (Fig6Result, error) {
 				topos[t] = topo
 			}
 			nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-				Radius: p.Radius, Metric: geom.MetricChebyshev,
+				Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
 			})
 			tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-			ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{})
+			ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: p.Workers})
 			for t := range topos {
 				res.NFI[t][c] += nfiAccs[t].ACD()
 				res.FFI[t][c] += ffiAccs[t].Total().ACD()

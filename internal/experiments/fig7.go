@@ -75,14 +75,17 @@ func RunFig7(p Params, procOrders []uint) (Fig7Result, error) {
 				if err != nil {
 					return Fig7Result{}, err
 				}
-				torus := topology.NewTorus(po, curve)
-				nfi := fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
-					Radius: p.Radius, Metric: geom.MetricChebyshev,
+				// Even with a single torus per step, the matrix path
+				// pays off: the event stream collapses to its distinct
+				// rank pairs before any distance is computed.
+				topos := []topology.Topology{topology.NewTorus(po, curve)}
+				nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+					Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
 				})
 				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-				ffi := fmmmodel.FFIFromTree(tree, torus, fmmmodel.FFIOptions{})
-				res.NFI[c][i] += nfi.ACD()
-				res.FFI[c][i] += ffi.Total().ACD()
+				ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: p.Workers})
+				res.NFI[c][i] += nfi[0].ACD()
+				res.FFI[c][i] += ffi[0].Total().ACD()
 			}
 		}
 	}

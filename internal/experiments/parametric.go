@@ -60,12 +60,15 @@ func RunRadiusSweep(p Params, radii []int) (RadiusSweepResult, error) {
 			if err != nil {
 				return RadiusSweepResult{}, err
 			}
-			torus := topology.NewTorus(p.ProcOrder, curve)
+			// Each radius induces its own event stream, so the sweep
+			// builds one matrix per radius and contracts it against the
+			// torus via the shared matrix path.
+			topos := []topology.Topology{topology.NewTorus(p.ProcOrder, curve)}
 			for i, radius := range radii {
-				acc := fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
-					Radius: radius, Metric: geom.MetricChebyshev,
+				acc := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+					Radius: radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
 				})
-				res.NFI[c][i] += acc.ACD()
+				res.NFI[c][i] += acc[0].ACD()
 			}
 		}
 	}
@@ -126,14 +129,14 @@ func RunSizeSweep(p Params, sizes []int) (SizeSweepResult, error) {
 				if err != nil {
 					return SizeSweepResult{}, err
 				}
-				torus := topology.NewTorus(q.ProcOrder, curve)
-				nfi := fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
-					Radius: q.Radius, Metric: geom.MetricChebyshev,
+				topos := []topology.Topology{topology.NewTorus(q.ProcOrder, curve)}
+				nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+					Radius: q.Radius, Metric: geom.MetricChebyshev, Workers: q.Workers,
 				})
 				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-				ffi := fmmmodel.FFIFromTree(tree, torus, fmmmodel.FFIOptions{})
-				res.NFI[c][i] += nfi.ACD() / float64(q.Trials)
-				res.FFI[c][i] += ffi.Total().ACD() / float64(q.Trials)
+				ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: q.Workers})
+				res.NFI[c][i] += nfi[0].ACD() / float64(q.Trials)
+				res.FFI[c][i] += ffi[0].Total().ACD() / float64(q.Trials)
 			}
 		}
 	}
@@ -192,9 +195,9 @@ func RunMeshTorus(p Params) (MeshTorusResult, error) {
 				topology.NewTorus(p.ProcOrder, curve),
 			}
 			nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-				Radius: p.Radius, Metric: geom.MetricChebyshev,
+				Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
 			})
-			ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{})
+			ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: p.Workers})
 			res.MeshNFI[c] += nfi[0].ACD() / float64(p.Trials)
 			res.TorusNFI[c] += nfi[1].ACD() / float64(p.Trials)
 			res.MeshFFI[c] += ffi[0].Total().ACD() / float64(p.Trials)

@@ -72,10 +72,10 @@ func RunTable12(p Params) ([]Table12Result, error) {
 					return nil, err
 				}
 				nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-					Radius: p.Radius, Metric: geom.MetricChebyshev,
+					Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
 				})
 				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-				ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{})
+				ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: p.Workers})
 				for proc := range curves {
 					res.NFI[proc][pc] += nfiAccs[proc].ACD()
 					res.FFI[proc][pc] += ffiAccs[proc].Total().ACD()

@@ -1,0 +1,100 @@
+package fmmmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/quadtree"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/topology"
+)
+
+// The matrix path (aggregate once, contract per topology) must
+// reproduce the direct per-event path bit for bit: identical Sum,
+// Count, and Zeros, not merely close ACD values. Integer accumulation
+// is commutative, so any divergence is a real defect — a lost or
+// double-counted event, a broken symmetry argument, or a wrong distance.
+
+// allTopologies returns one instance of each of the paper's six network
+// types, sized for p = 64.
+func allTopologies() []topology.Topology {
+	return []topology.Topology{
+		topology.NewBus(64),
+		topology.NewRing(64),
+		topology.NewMesh(3, sfc.Hilbert),
+		topology.NewTorus(3, sfc.RowMajor),
+		topology.NewHypercube(6),
+		topology.NewQuadtreeNet(3),
+	}
+}
+
+// TestDifferentialMatrixVsDirect sweeps seeds x particle orders x radii
+// and checks the matrix path against the direct oracle on all six
+// topologies, for both interaction families.
+func TestDifferentialMatrixVsDirect(t *testing.T) {
+	const order = 6
+	topos := allTopologies()
+	curves := []sfc.Curve{sfc.RowMajor, sfc.Morton, sfc.Gray, sfc.Hilbert}
+	for seed := int64(1); seed <= 2; seed++ {
+		pts, err := dist.SampleUnique(dist.Uniform, rng.New(uint64(seed)), order, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, curve := range curves {
+			a, err := acd.Assign(pts, curve, order, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("seed%d/%s", seed, curve.Name())
+
+			for _, radius := range []int{1, 2} {
+				opts := NFIOptions{Radius: radius, Metric: geom.MetricChebyshev}
+				multi := NFIMulti(a, topos, opts)
+				for i, topo := range topos {
+					if single := NFI(a, topo, opts); multi[i] != single {
+						t.Errorf("%s r=%d %s: NFI matrix %+v != direct %+v", name, radius, topo.Name(), multi[i], single)
+					}
+				}
+			}
+
+			tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+			multi := FFIMultiFromTree(tree, topos, FFIOptions{})
+			for i, topo := range topos {
+				if single := FFIFromTree(tree, topo, FFIOptions{}); multi[i] != single {
+					t.Errorf("%s %s: FFI matrix %+v != direct %+v", name, topo.Name(), multi[i], single)
+				}
+			}
+		}
+	}
+}
+
+// TestNFIMatrixContractsExactly pins the symmetric-canonical
+// convention at the matrix level: contracting the canonical matrix
+// with the Sym variant reproduces the ordered direct stream.
+func TestNFIMatrixContractsExactly(t *testing.T) {
+	const order = 6
+	pts, err := dist.SampleUnique(dist.Normal, rng.New(9), order, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := acd.Assign(pts, sfc.Morton, order, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := NFIOptions{Radius: 1, Metric: geom.MetricChebyshev}
+	m := NFIMatrix(a, opts)
+	for _, topo := range allTopologies() {
+		var viaSym acd.Accumulator
+		m.ContractSym(topo, &viaSym)
+		var viaTable acd.Accumulator
+		m.ContractTableSym(topology.NewDistanceTable(topo), &viaTable)
+		direct := NFI(a, topo, opts)
+		if viaSym != direct || viaTable != direct {
+			t.Errorf("%s: ContractSym %+v / table %+v != direct %+v", topo.Name(), viaSym, viaTable, direct)
+		}
+	}
+}

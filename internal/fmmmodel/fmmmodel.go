@@ -129,6 +129,16 @@ func (r FFIResult) record() {
 	topology.CountDistanceQueries(r.Interpolation.Count + r.InteractionList.Count)
 }
 
+// recordMatrixPath publishes the three final accumulators without
+// touching the distance-query counter: on the matrix path the (far
+// fewer) analytic queries are accounted for by the contraction and the
+// distance-table builds themselves.
+func (r FFIResult) recordMatrixPath() {
+	r.Interpolation.Record()
+	r.Anterpolation.Record()
+	r.InteractionList.Record()
+}
+
 // FFIOptions configures the far-field model.
 type FFIOptions struct {
 	// Workers caps the worker goroutines; 0 means GOMAXPROCS.

@@ -4,151 +4,86 @@ import (
 	"sync"
 
 	"sfcacd/internal/acd"
-	"sfcacd/internal/geom"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/quadtree"
 	"sfcacd/internal/topology"
 )
 
-// This file provides multi-topology evaluation: the communication
+// This file provides multi-topology evaluation. The communication
 // event stream of an assignment does not depend on the network, so the
 // paper's 4x4 SFC-combination tables (one particle order against four
-// processor orders) can be computed with a single traversal per
-// particle order, accumulating distances under every topology at once.
+// processor orders) can share a single traversal per particle order.
+// The traversal aggregates the stream into a topology-independent
+// communication matrix (internal/commmat); evaluating each topology is
+// then a contraction — one distance lookup per distinct rank pair
+// instead of one interface call per event — turning the sweep from
+// O(events x topologies) into O(events + distinctPairs x topologies).
+// The single-topology NFI/FFI paths stay on the direct per-event
+// accumulation and serve as the differential-testing oracle.
 
 // NFIMulti computes the near-field accumulator of the assignment under
-// each of the given topologies in one traversal.
+// each of the given topologies from one shared communication matrix.
+// The results are identical (exact Sum/Count/Zeros) to running NFI per
+// topology.
 func NFIMulti(a *acd.Assignment, topos []topology.Topology, opts NFIOptions) []acd.Accumulator {
 	defer obs.StartSpan("accumulation.nfi").End()
 	opts.normalize()
-	n := a.N()
-	workers := opts.Workers
-	if workers > n {
-		workers = n
-	}
-	results := make(chan []acd.Accumulator, workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		go func(lo, hi int) {
-			local := make([]acd.Accumulator, len(topos))
-			for i := lo; i < hi; i++ {
-				p := a.Particles[i]
-				mine := int(a.Ranks[i])
-				geom.VisitNeighborhood(p, opts.Radius, opts.Metric, a.Side(), func(q geom.Point) {
-					if r := a.RankAt(q); r >= 0 {
-						for t, topo := range topos {
-							local[t].Add(topo.Distance(mine, int(r)))
-						}
-					}
-				})
-			}
-			results <- local
-		}(lo, hi)
-	}
-	total := make([]acd.Accumulator, len(topos))
-	for w := 0; w < workers; w++ {
-		local := <-results
-		for t := range total {
-			total[t].Merge(local[t])
-		}
-	}
-	var queries uint64
+	m := NFIMatrix(a, opts)
+	total := contractAll(m, topos, opts.Workers)
 	for t := range total {
 		total[t].Record()
-		queries += total[t].Count // one Distance call per event per topology
 	}
-	topology.CountDistanceQueries(queries)
 	return total
 }
 
 // FFIMulti computes the far-field breakdown of the assignment under
-// each of the given topologies, sharing one representative tree and
-// one traversal of the interaction structure.
+// each of the given topologies, sharing one representative tree and one
+// aggregation of the interaction structure.
 func FFIMulti(a *acd.Assignment, topos []topology.Topology, opts FFIOptions) []FFIResult {
 	tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
 	return FFIMultiFromTree(tree, topos, opts)
 }
 
-// FFIMultiFromTree is FFIMulti over a prebuilt representative tree.
+// FFIMultiFromTree is FFIMulti over a prebuilt representative tree. The
+// far-field matrices are kept separate per communication type, so the
+// per-type breakdown of FFIResult matches the direct FFIFromTree path
+// exactly; the anterpolation accumulator reuses the interpolation
+// contraction because hop distance is symmetric.
 func FFIMultiFromTree(tree *quadtree.RankTree, topos []topology.Topology, opts FFIOptions) []FFIResult {
 	defer obs.StartSpan("accumulation.ffi").End()
 	if opts.Workers <= 0 {
 		opts.Workers = defaultWorkers()
 	}
 	res := make([]FFIResult, len(topos))
-	for l := tree.Order; l >= 1; l-- {
-		tree.VisitCells(l, func(x, y uint32, rep int32) {
-			parentRep := tree.Rep(l-1, x/2, y/2)
-			for t, topo := range topos {
-				d := topo.Distance(int(rep), int(parentRep))
-				res[t].Interpolation.Add(d)
-				res[t].Anterpolation.Add(d)
-			}
-		})
+	if len(topos) == 0 {
+		return res
 	}
-	for l := uint(2); l <= tree.Order; l++ {
-		level := interactionLevelMulti(tree, topos, l, opts.Workers)
-		for t := range res {
-			res[t].InteractionList.Merge(level[t])
+	ms := FFIMatricesFromTree(tree, topos[0].P(), opts.Workers)
+	span := obs.StartSpan("commmat.contract")
+	contract := func(t int) {
+		dt := distanceTableFor(topos[t])
+		ms.Interpolation.ContractTable(dt, &res[t].Interpolation)
+		res[t].Anterpolation = res[t].Interpolation
+		ms.InteractionList.ContractTableSym(dt, &res[t].InteractionList)
+	}
+	if opts.Workers <= 1 || len(topos) <= 1 {
+		for t := range topos {
+			contract(t)
 		}
+	} else {
+		var wg sync.WaitGroup
+		for t := range topos {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				contract(t)
+			}(t)
+		}
+		wg.Wait()
 	}
+	span.End()
 	for t := range res {
-		res[t].record()
+		res[t].recordMatrixPath()
 	}
 	return res
-}
-
-func interactionLevelMulti(tree *quadtree.RankTree, topos []topology.Topology, level uint, workers int) []acd.Accumulator {
-	side := geom.Side(level)
-	if workers > int(side) {
-		workers = int(side)
-	}
-	stripe := (int(side) + workers - 1) / workers
-	var wg sync.WaitGroup
-	results := make(chan []acd.Accumulator, workers)
-	for w := 0; w < workers; w++ {
-		yLo := uint32(w * stripe)
-		yHi := yLo + uint32(stripe)
-		if yHi > side {
-			yHi = side
-		}
-		if yLo >= yHi {
-			continue
-		}
-		wg.Add(1)
-		go func(yLo, yHi uint32) {
-			defer wg.Done()
-			local := make([]acd.Accumulator, len(topos))
-			for y := yLo; y < yHi; y++ {
-				for x := uint32(0); x < side; x++ {
-					rep := tree.Rep(level, x, y)
-					if rep == -1 {
-						continue
-					}
-					tree.InteractionList(level, x, y, func(_, _ uint32, other int32) {
-						for t, topo := range topos {
-							local[t].Add(topo.Distance(int(rep), int(other)))
-						}
-					})
-				}
-			}
-			results <- local
-		}(yLo, yHi)
-	}
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-	total := make([]acd.Accumulator, len(topos))
-	for local := range results {
-		for t := range total {
-			total[t].Merge(local[t])
-		}
-	}
-	return total
 }

@@ -219,3 +219,37 @@ func TestPointString(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestVisitUpperNeighborhoodPartition: the union of each point's upper
+// neighborhood and its mirror (upper visits *of* other points that land
+// on it) is exactly VisitNeighborhood — the upper traversal partitions
+// the symmetric relation into unordered pairs.
+func TestVisitUpperNeighborhoodPartition(t *testing.T) {
+	for _, m := range []Metric{MetricChebyshev, MetricManhattan} {
+		for _, r := range []int{1, 2, 3} {
+			const side = 7
+			full := map[[4]uint32]int{}
+			half := map[[4]uint32]int{}
+			for y := uint32(0); y < side; y++ {
+				for x := uint32(0); x < side; x++ {
+					p := Pt(x, y)
+					VisitNeighborhood(p, r, m, side, func(q Point) {
+						full[[4]uint32{p.X, p.Y, q.X, q.Y}]++
+					})
+					VisitUpperNeighborhood(p, r, m, side, func(q Point) {
+						half[[4]uint32{p.X, p.Y, q.X, q.Y}]++
+						half[[4]uint32{q.X, q.Y, p.X, p.Y}]++
+					})
+				}
+			}
+			if len(full) != len(half) {
+				t.Fatalf("%v r=%d: %d ordered visits from full, %d from upper closure", m, r, len(full), len(half))
+			}
+			for k, n := range full {
+				if half[k] != n {
+					t.Fatalf("%v r=%d: visit %v count %d via upper, want %d", m, r, k, half[k], n)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package quadtree
+
+import "sfcacd/internal/geom"
+
+// The interaction-list relation is symmetric: o is in IL(c) exactly
+// when c is in IL(o) (parent adjacency and Chebyshev adjacency are both
+// symmetric). VisitUpperInteractionPairs exploits this to enumerate
+// each unordered cell pair once, from its row-major-lower member, with
+// the member offsets precomputed per cell parity — the geometry of the
+// list depends only on (x mod 2, y mod 2), so the runtime loop is a
+// handful of adds and bounds tests instead of the full candidate scan
+// of InteractionList.
+
+// ilOffset is a relative interaction-list member position.
+type ilOffset struct{ dx, dy int8 }
+
+// ilUpper[(y&1)<<1|(x&1)] lists the offsets of the interaction-list
+// members that follow (x, y) in row-major order.
+var ilUpper [4][]ilOffset
+
+func init() {
+	for py := 0; py < 2; py++ {
+		for px := 0; px < 2; px++ {
+			// A cell of this parity with its parent away from any grid
+			// edge; only relative geometry matters.
+			x, y := 4+px, 4+py
+			self := geom.Pt(uint32(x), uint32(y))
+			var offs []ilOffset
+			for ny := y/2 - 1; ny <= y/2+1; ny++ {
+				for nx := x/2 - 1; nx <= x/2+1; nx++ {
+					for cy := 2 * ny; cy < 2*ny+2; cy++ {
+						for cx := 2 * nx; cx < 2*nx+2; cx++ {
+							if geom.Chebyshev(self, geom.Pt(uint32(cx), uint32(cy))) <= 1 {
+								continue // adjacent (or self): near field
+							}
+							ox, oy := cx-x, cy-y
+							if oy > 0 || (oy == 0 && ox > 0) {
+								offs = append(offs, ilOffset{dx: int8(ox), dy: int8(oy)})
+							}
+						}
+					}
+				}
+			}
+			ilUpper[py<<1|px] = offs
+		}
+	}
+}
+
+// VisitUpperInteractionPairs calls fn once for every unordered
+// interaction-list pair {c, o} of occupied cells at the level whose
+// row-major-lower member c lies in rows [yLo, yHi), passing c's
+// representative first. Because the list relation is symmetric, the
+// ordered exchange stream of InteractionList is exactly every visited
+// pair counted once in each direction.
+func (t *RankTree) VisitUpperInteractionPairs(level uint, yLo, yHi uint32, fn func(rep, other int32)) {
+	if level < 2 {
+		return
+	}
+	side := geom.Side(level)
+	if yHi > side {
+		yHi = side
+	}
+	lv := t.levels[level]
+	for y := yLo; y < yHi; y++ {
+		row := int(y) * int(side)
+		offs := ilUpper[(y&1)<<1:][:2]
+		for x := uint32(0); x < side; x++ {
+			rep := lv[row+int(x)]
+			if rep == -1 {
+				continue
+			}
+			for _, o := range offs[x&1] {
+				nx := int(x) + int(o.dx)
+				ny := int(y) + int(o.dy)
+				if nx < 0 || ny < 0 || nx >= int(side) || ny >= int(side) {
+					continue
+				}
+				if other := lv[ny*int(side)+nx]; other != -1 {
+					fn(rep, other)
+				}
+			}
+		}
+	}
+}
+
+// VisitRowCells is VisitCells restricted to rows [yLo, yHi): fn is
+// called for every occupied cell there, in row-major order.
+func (t *RankTree) VisitRowCells(level uint, yLo, yHi uint32, fn func(x, y uint32, rep int32)) {
+	side := geom.Side(level)
+	if yHi > side {
+		yHi = side
+	}
+	lv := t.levels[level]
+	for y := yLo; y < yHi; y++ {
+		row := uint64(y) * uint64(side)
+		for x := uint32(0); x < side; x++ {
+			if rep := lv[row+uint64(x)]; rep != -1 {
+				fn(x, y, rep)
+			}
+		}
+	}
+}

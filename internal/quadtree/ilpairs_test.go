@@ -1,0 +1,115 @@
+package quadtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sfcacd/internal/geom"
+)
+
+// randomTree builds a rank tree over a random particle subset.
+func randomTree(t *testing.T, order uint, n, p int, seed int64) *RankTree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	side := geom.Side(order)
+	cells := int(side) * int(side)
+	perm := rng.Perm(cells)[:n]
+	sort.Ints(perm)
+	pts := make([]geom.Point, n)
+	ranks := make([]int32, n)
+	for i, id := range perm {
+		pts[i] = geom.Pt(uint32(id%int(side)), uint32(id/int(side)))
+		ranks[i] = int32(i * p / n)
+	}
+	return BuildRankTree(order, pts, ranks)
+}
+
+// TestVisitUpperInteractionPairsClosure: the upper-pair traversal plus
+// its mirror is exactly the full interaction-list enumeration — every
+// (cell, partner) pair of every occupied cell, in both directions.
+func TestVisitUpperInteractionPairsClosure(t *testing.T) {
+	tree := randomTree(t, 5, 300, 64, 1)
+	for level := uint(2); level <= tree.Order; level++ {
+		full := map[[2]int32]int{}
+		tree.VisitCells(level, func(x, y uint32, rep int32) {
+			tree.InteractionList(level, x, y, func(nx, ny uint32, other int32) {
+				full[[2]int32{rep, other}]++
+			})
+		})
+		upper := map[[2]int32]int{}
+		side := geom.Side(level)
+		tree.VisitUpperInteractionPairs(level, 0, side, func(rep, other int32) {
+			upper[[2]int32{rep, other}]++
+			upper[[2]int32{other, rep}]++
+		})
+		if len(full) != len(upper) {
+			t.Fatalf("level %d: %d directed pairs from full enumeration, %d from upper closure", level, len(full), len(upper))
+		}
+		for k, n := range full {
+			if upper[k] != n {
+				t.Fatalf("level %d: pair %v seen %d times via upper closure, want %d", level, k, upper[k], n)
+			}
+		}
+	}
+}
+
+// TestVisitUpperInteractionPairsStripes: cutting a level into row
+// stripes covers exactly the same pairs as one full-range call.
+func TestVisitUpperInteractionPairsStripes(t *testing.T) {
+	tree := randomTree(t, 5, 250, 32, 2)
+	const level = 4
+	side := geom.Side(level)
+	whole := map[[2]int32]int{}
+	tree.VisitUpperInteractionPairs(level, 0, side, func(rep, other int32) {
+		whole[[2]int32{rep, other}]++
+	})
+	striped := map[[2]int32]int{}
+	for yLo := uint32(0); yLo < side; yLo += 3 {
+		yHi := yLo + 3
+		if yHi > side {
+			yHi = side
+		}
+		tree.VisitUpperInteractionPairs(level, yLo, yHi, func(rep, other int32) {
+			striped[[2]int32{rep, other}]++
+		})
+	}
+	if len(whole) != len(striped) {
+		t.Fatalf("stripes found %d pairs, whole range %d", len(striped), len(whole))
+	}
+	for k, n := range whole {
+		if striped[k] != n {
+			t.Fatalf("pair %v: stripes %d, whole %d", k, striped[k], n)
+		}
+	}
+}
+
+// TestVisitRowCellsMatchesVisitCells: the row-restricted visitor is
+// VisitCells filtered to the row range.
+func TestVisitRowCellsMatchesVisitCells(t *testing.T) {
+	tree := randomTree(t, 5, 300, 64, 3)
+	for level := uint(1); level <= tree.Order; level++ {
+		side := geom.Side(level)
+		type cell struct {
+			x, y uint32
+			rep  int32
+		}
+		var want, got []cell
+		tree.VisitCells(level, func(x, y uint32, rep int32) {
+			if y >= 1 && y < side {
+				want = append(want, cell{x, y, rep})
+			}
+		})
+		tree.VisitRowCells(level, 1, side, func(x, y uint32, rep int32) {
+			got = append(got, cell{x, y, rep})
+		})
+		if len(want) != len(got) {
+			t.Fatalf("level %d: VisitRowCells saw %d cells, want %d", level, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("level %d: cell %d is %+v, want %+v", level, i, got[i], want[i])
+			}
+		}
+	}
+}

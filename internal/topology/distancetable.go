@@ -1,0 +1,147 @@
+// DistanceTable: precomputed rank-pair distances for contraction-style
+// evaluation (internal/commmat). The table devirtualizes the hot path —
+// a contraction over a dense communication matrix indexes a uint16 row
+// instead of making one dynamic Distance interface call per pair — but
+// only materializes distances when the lookup volume amortizes the
+// build cost, so sparse contractions never pay for cells they skip.
+package topology
+
+import "sync"
+
+const (
+	// maxTableP is the largest processor count a table serves: hop
+	// distances up to 65,535 fit the uint16 cells (the bus diameter is
+	// P-1, so this bounds P).
+	maxTableP = 1 << 16
+	// eagerCells caps the full-table form at p*p cells (4096 x 4096,
+	// 32 MiB of uint16). Larger networks fall back to lazily built and
+	// cached single rows.
+	eagerCells = 1 << 24
+	// amortize is the build-cost multiplier: a table (or row) of c
+	// cells is built only once at least c/amortize lookups have asked
+	// for it, so a build never costs more than amortize times the work
+	// it replaces.
+	amortize = 4
+	// fillerAmortize replaces amortize when the topology implements
+	// RowFiller. An analytic fill is several times cheaper per cell
+	// than a dispatched Distance call, but the threshold stays
+	// conservative — the ski-rental bound wants pending lookups on the
+	// order of cells x (fill cost / call cost) before a build is known
+	// to repay, and a premature full-table build costs more than the
+	// per-pair fallback it replaces.
+	fillerAmortize = 4
+	// rowBudgetCells bounds the lazy per-row cache (64 MiB of uint16).
+	rowBudgetCells = 1 << 25
+)
+
+// DistanceTable memoizes a topology's rank-pair hop distances in flat
+// uint16 storage. Small networks (p*p <= eagerCells) promote to one
+// contiguous P x P table once enough lookups accumulate; larger ones
+// cache individual source rows, each built on first sufficiently dense
+// use. All methods are safe for concurrent use.
+//
+// DistanceTable itself implements Topology, so it can substitute for
+// the underlying network anywhere.
+type DistanceTable struct {
+	topo     Topology
+	p        int
+	filler   RowFiller // non-nil when topo fills rows analytically
+	amortize int
+
+	mu      sync.Mutex
+	full    []uint16
+	rows    map[int][]uint16
+	pending int // lookups served without a full table so far
+	budget  int // remaining lazy-row cells
+}
+
+// NewDistanceTable wraps a topology. Construction is cheap: no
+// distances are computed until lookups demand them.
+func NewDistanceTable(t Topology) *DistanceTable {
+	dt := &DistanceTable{topo: t, p: t.P(), amortize: amortize, budget: rowBudgetCells}
+	if f, ok := t.(RowFiller); ok {
+		dt.filler = f
+		dt.amortize = fillerAmortize
+	}
+	return dt
+}
+
+// Underlying returns the wrapped topology.
+func (dt *DistanceTable) Underlying() Topology { return dt.topo }
+
+// Name implements Topology.
+func (dt *DistanceTable) Name() string { return dt.topo.Name() }
+
+// P implements Topology.
+func (dt *DistanceTable) P() int { return dt.p }
+
+// Distance implements Topology, answering from the table when the pair
+// is materialized and from the underlying topology otherwise.
+func (dt *DistanceTable) Distance(a, b int) int {
+	dt.mu.Lock()
+	if dt.full != nil {
+		d := int(dt.full[a*dt.p+b])
+		dt.mu.Unlock()
+		return d
+	}
+	if row, ok := dt.rows[a]; ok {
+		d := int(row[b])
+		dt.mu.Unlock()
+		return d
+	}
+	dt.mu.Unlock()
+	CountDistanceQueries(1)
+	return dt.topo.Distance(a, b)
+}
+
+// RowFor returns the distance row of src — row[dst] is the hop count
+// src->dst — if one is materialized or the pending lookup volume
+// (grown by pairs) now amortizes building it; otherwise nil, and the
+// caller should fall back to per-pair Distance calls. pairs is the
+// number of lookups the caller is about to perform against the row.
+func (dt *DistanceTable) RowFor(src, pairs int) []uint16 {
+	if dt.p > maxTableP {
+		return nil
+	}
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if dt.full != nil {
+		return dt.full[src*dt.p : (src+1)*dt.p]
+	}
+	dt.pending += pairs
+	if cells := dt.p * dt.p; cells <= eagerCells && dt.pending*dt.amortize >= cells {
+		dt.full = make([]uint16, cells)
+		for a := 0; a < dt.p; a++ {
+			dt.fillRow(dt.full[a*dt.p:(a+1)*dt.p], a)
+		}
+		dt.rows = nil
+		return dt.full[src*dt.p : (src+1)*dt.p]
+	}
+	if row, ok := dt.rows[src]; ok {
+		return row
+	}
+	if pairs*dt.amortize < dt.p || dt.budget < dt.p {
+		return nil
+	}
+	row := make([]uint16, dt.p)
+	dt.fillRow(row, src)
+	if dt.rows == nil {
+		dt.rows = make(map[int][]uint16)
+	}
+	dt.rows[src] = row
+	dt.budget -= dt.p
+	return row
+}
+
+// fillRow computes one source row — through the topology's RowFiller
+// when it has one — and accounts for the analytic queries it spends.
+func (dt *DistanceTable) fillRow(row []uint16, src int) {
+	if dt.filler != nil {
+		dt.filler.FillDistanceRow(src, row)
+	} else {
+		for b := range row {
+			row[b] = uint16(dt.topo.Distance(src, b))
+		}
+	}
+	CountDistanceQueries(uint64(len(row)))
+}

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"testing"
+
+	"sfcacd/internal/sfc"
+)
+
+// fillTargets returns one instance of every topology, across placements
+// for the grid networks (placement permutes coords, which the fills
+// must honor).
+func fillTargets() []Topology {
+	return []Topology{
+		NewBus(17),
+		NewRing(16),
+		NewRing(17),
+		NewMesh(2, sfc.RowMajor),
+		NewMesh(2, sfc.Hilbert),
+		NewMesh(2, sfc.Gray),
+		NewTorus(2, sfc.RowMajor),
+		NewTorus(2, sfc.Morton),
+		NewTorus(3, sfc.Hilbert),
+		NewHypercube(5),
+		NewQuadtreeNet(3),
+	}
+}
+
+// TestFillDistanceRowMatchesDistance: every topology's analytic row
+// fill agrees cell-for-cell with its Distance method.
+func TestFillDistanceRowMatchesDistance(t *testing.T) {
+	for _, topo := range fillTargets() {
+		f, ok := topo.(RowFiller)
+		if !ok {
+			t.Fatalf("%s does not implement RowFiller", topo.Name())
+		}
+		p := topo.P()
+		row := make([]uint16, p)
+		for src := 0; src < p; src++ {
+			f.FillDistanceRow(src, row)
+			for dst := 0; dst < p; dst++ {
+				if want := topo.Distance(src, dst); int(row[dst]) != want {
+					t.Fatalf("%s: row fill (%d,%d)=%d, Distance=%d", topo.Name(), src, dst, row[dst], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceTableLazyPromotion: the table starts empty, refuses rows
+// for sparse lookups, and promotes to the full form once the pending
+// volume amortizes the build — at which point every cell must match
+// the underlying topology.
+func TestDistanceTableLazyPromotion(t *testing.T) {
+	topo := NewTorus(2, sfc.Hilbert) // p = 16, full table = 256 cells
+	dt := NewDistanceTable(topo)
+	if row := dt.RowFor(3, 1); row != nil {
+		t.Fatal("RowFor promoted on a single-pair lookup")
+	}
+	// Drive enough volume through RowFor to cross the build threshold.
+	var row []uint16
+	for i := 0; i < 80 && row == nil; i++ {
+		row = dt.RowFor(5, 16)
+	}
+	if row == nil {
+		t.Fatal("RowFor never promoted despite sustained volume")
+	}
+	for dst := range row {
+		if int(row[dst]) != topo.Distance(5, dst) {
+			t.Fatalf("promoted row: (5,%d)=%d, want %d", dst, row[dst], topo.Distance(5, dst))
+		}
+	}
+	// After promotion the table answers Distance itself, for any pair.
+	for src := 0; src < topo.P(); src++ {
+		for dst := 0; dst < topo.P(); dst++ {
+			if dt.Distance(src, dst) != topo.Distance(src, dst) {
+				t.Fatalf("table Distance(%d,%d) diverged", src, dst)
+			}
+		}
+	}
+}
+
+// TestDistanceTableIsTopology: the table substitutes for its underlying
+// network, before any materialization happens.
+func TestDistanceTableIsTopology(t *testing.T) {
+	topo := NewHypercube(4)
+	dt := NewDistanceTable(topo)
+	if dt.Name() != topo.Name() || dt.P() != topo.P() || dt.Underlying() != Topology(topo) {
+		t.Fatal("table does not mirror its underlying topology")
+	}
+	for src := 0; src < topo.P(); src++ {
+		for dst := 0; dst < topo.P(); dst++ {
+			if dt.Distance(src, dst) != topo.Distance(src, dst) {
+				t.Fatalf("unmaterialized Distance(%d,%d) diverged", src, dst)
+			}
+		}
+	}
+}

@@ -95,6 +95,9 @@ type NeighborLister interface {
 	Neighbors(p int, buf []int) []int
 }
 
+// checkRank is the cold path of the Distance guards: callers test the
+// range with an inlinable concrete P() first, so the dynamic dispatch
+// here is only paid on the way to a panic.
 func checkRank(t Topology, r int) {
 	if r < 0 || r >= t.P() {
 		panic(fmt.Sprintf("topology: rank %d outside %s of %d processors", r, t.Name(), t.P()))
@@ -125,8 +128,10 @@ func (b *Bus) P() int { return b.n }
 
 // Distance implements Topology.
 func (b *Bus) Distance(x, y int) int {
-	checkRank(b, x)
-	checkRank(b, y)
+	if uint(x) >= uint(b.P()) || uint(y) >= uint(b.P()) {
+		checkRank(b, x)
+		checkRank(b, y)
+	}
 	if x > y {
 		return x - y
 	}
@@ -169,8 +174,10 @@ func (r *Ring) P() int { return r.n }
 
 // Distance implements Topology.
 func (r *Ring) Distance(x, y int) int {
-	checkRank(r, x)
-	checkRank(r, y)
+	if uint(x) >= uint(r.P()) || uint(y) >= uint(r.P()) {
+		checkRank(r, x)
+		checkRank(r, y)
+	}
 	d := x - y
 	if d < 0 {
 		d = -d
@@ -294,8 +301,10 @@ func (m *Mesh) P() int { return len(m.coords) }
 // Distance implements Topology: the Manhattan distance between the
 // ranks' grid positions.
 func (m *Mesh) Distance(a, b int) int {
-	checkRank(m, a)
-	checkRank(m, b)
+	if uint(a) >= uint(m.P()) || uint(b) >= uint(m.P()) {
+		checkRank(m, a)
+		checkRank(m, b)
+	}
 	return geom.Manhattan(m.coords[a], m.coords[b])
 }
 
@@ -325,8 +334,10 @@ func (t *Torus) P() int { return len(t.coords) }
 // Distance implements Topology: per-dimension wrapped Manhattan
 // distance.
 func (t *Torus) Distance(a, b int) int {
-	checkRank(t, a)
-	checkRank(t, b)
+	if uint(a) >= uint(t.P()) || uint(b) >= uint(t.P()) {
+		checkRank(t, a)
+		checkRank(t, b)
+	}
 	ca, cb := t.coords[a], t.coords[b]
 	return wrapDist(ca.X, cb.X, t.side) + wrapDist(ca.Y, cb.Y, t.side)
 }
@@ -372,8 +383,10 @@ func (h *Hypercube) P() int { return 1 << h.dims }
 
 // Distance implements Topology: the Hamming distance of the labels.
 func (h *Hypercube) Distance(a, b int) int {
-	checkRank(h, a)
-	checkRank(h, b)
+	if uint(a) >= uint(h.P()) || uint(b) >= uint(h.P()) {
+		checkRank(h, a)
+		checkRank(h, b)
+	}
 	return bits.OnesCount32(uint32(a) ^ uint32(b))
 }
 
@@ -417,8 +430,10 @@ func (q *QuadtreeNet) Levels() uint { return q.levels }
 // Distance implements Topology: 2 * (levels - common prefix length in
 // base-4 digits).
 func (q *QuadtreeNet) Distance(a, b int) int {
-	checkRank(q, a)
-	checkRank(q, b)
+	if uint(a) >= uint(q.P()) || uint(b) >= uint(q.P()) {
+		checkRank(q, a)
+		checkRank(q, b)
+	}
 	if a == b {
 		return 0
 	}
