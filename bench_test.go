@@ -5,6 +5,7 @@
 package sfcacd_test
 
 import (
+	"context"
 	"testing"
 
 	"sfcacd"
@@ -12,6 +13,7 @@ import (
 	"sfcacd/internal/experiments"
 	"sfcacd/internal/fmmmodel"
 	"sfcacd/internal/quadtree"
+	"sfcacd/internal/serve"
 	"sfcacd/internal/topology"
 )
 
@@ -75,7 +77,7 @@ func BenchmarkFig3ParticleOrdering(b *testing.B) {
 // across resolutions for all four curves.
 func BenchmarkFig5aANNS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig5(1, 6, 1); err != nil {
+		if _, err := experiments.RunFig5(context.Background(), 1, 6, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +87,7 @@ func BenchmarkFig5aANNS(b *testing.B) {
 // generalized stretch at radius 6.
 func BenchmarkFig5bANNSLargeRadius(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig5(1, 6, 6); err != nil {
+		if _, err := experiments.RunFig5(context.Background(), 1, 6, 6); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +100,7 @@ func BenchmarkTable1NFICombos(b *testing.B) {
 	// RunTable12 computes both tables in one pass; Table II's cost is
 	// benchmarked separately below via the far-field-only path.
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunTable12(benchParams); err != nil {
+		if _, err := experiments.RunTable12(context.Background(), benchParams); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +133,7 @@ func BenchmarkFig6Topologies(b *testing.B) {
 	p := benchParams
 	p.Radius = 4
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig6(p); err != nil {
+		if _, err := experiments.RunFig6(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +143,7 @@ func BenchmarkFig6Topologies(b *testing.B) {
 // processor count on the torus.
 func BenchmarkFig7ProcessorSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig7(benchParams, []uint{2, 3, 4}); err != nil {
+		if _, err := experiments.RunFig7(context.Background(), benchParams, []uint{2, 3, 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -150,7 +152,7 @@ func BenchmarkFig7ProcessorSweep(b *testing.B) {
 // BenchmarkRadiusSweep regenerates the §VI-C radius study.
 func BenchmarkRadiusSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunRadiusSweep(benchParams, []int{1, 2, 4}); err != nil {
+		if _, err := experiments.RunRadiusSweep(context.Background(), benchParams, []int{1, 2, 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +168,7 @@ func BenchmarkPrimitives(b *testing.B) {
 // BenchmarkContention regenerates the contention extension study.
 func BenchmarkContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunContention(benchParams); err != nil {
+		if _, err := experiments.RunContention(context.Background(), benchParams); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -227,7 +229,7 @@ func BenchmarkDynamicTimesteps(b *testing.B) {
 	p := benchParams
 	p.Particles = 2000
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunDynamic(p, 2); err != nil {
+		if _, err := experiments.RunDynamic(context.Background(), p, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -241,7 +243,7 @@ func BenchmarkThreeDValidation(b *testing.B) {
 	p.Order = 5
 	p.ANNSOrder = 3
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunThreeD(p); err != nil {
+		if _, err := experiments.RunThreeD(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -331,5 +333,44 @@ func BenchmarkTable12MatrixPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{Radius: benchParams.Radius})
 		fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{})
+	}
+}
+
+// BenchmarkServeCacheHit measures answering a warm request through the
+// serving layer: key derivation, cache lookup, and entry replay. The
+// acceptance target is well under a millisecond for the scaled
+// table12 result.
+func BenchmarkServeCacheHit(b *testing.B) {
+	s := serve.New(serve.Options{Workers: 2})
+	if _, err := s.Do(context.Background(), "table12", benchParams); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Do(context.Background(), "table12", benchParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status != serve.StatusHit {
+			b.Fatalf("status %q, want hit", resp.Status)
+		}
+	}
+}
+
+// BenchmarkServeColdMiss measures the full compute-and-cache path by
+// varying the seed so every iteration is a distinct content address.
+func BenchmarkServeColdMiss(b *testing.B) {
+	s := serve.New(serve.Options{Workers: 2})
+	p := benchParams
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i) + 1
+		resp, err := s.Do(context.Background(), "table12", p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status != serve.StatusMiss {
+			b.Fatalf("status %q, want miss", resp.Status)
+		}
 	}
 }

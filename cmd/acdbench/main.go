@@ -8,6 +8,15 @@
 //	acdbench -experiment table12 -full           # exact paper parameters
 //	acdbench -experiment fig6 -particles 100000  # custom overrides
 //	acdbench -experiment all -report run.json    # with a run manifest
+//	acdbench -list                               # registry listing
+//	acdbench -cache results/cache                # reuse cached results
+//
+// The experiment table is experiments.Registry() — the same source of
+// truth cmd/acdserverd serves over HTTP — so -list, the -experiment
+// help, and the "all" expansion always match the daemon's API. With
+// -cache, results are read from and written to the same
+// content-addressed store the daemon uses with -cachedir: a warm entry
+// renders in microseconds instead of recomputing.
 //
 // Result tables go to stdout; progress logging goes to stderr (-v for
 // debug detail). Pass -csvdir to also write machine-readable CSVs,
@@ -17,30 +26,26 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 	"strings"
+	"syscall"
 	"time"
 
 	"sfcacd/internal/experiments"
 	"sfcacd/internal/obs"
+	"sfcacd/internal/resultcache"
+	"sfcacd/internal/serve"
 )
-
-// names lists every experiment in display order. It is the single
-// source of truth: the -experiment flag help, the "all" expansion, and
-// the runner lookup are all derived from it.
-var names = []string{
-	"table12", "fig6", "fig7", "radius", "nsweep", "meshtorus",
-	"primitives", "contention", "dynamic", "threed", "clustering",
-	"loadbalance", "execmodel", "metrics",
-}
 
 // csvDir, when set, receives one CSV file per experiment result.
 var csvDir string
@@ -49,22 +54,26 @@ var csvDir string
 // stdout.
 var logger *slog.Logger
 
-// csvWriter is implemented by every experiment result with a CSV form.
-type csvWriter interface {
-	WriteCSV(io.Writer) error
-}
-
-// emitCSV writes the result's CSV into csvDir (no-op when unset). A
-// failed Close is reported: on a full disk the data loss surfaces
-// there, not in Write.
-func emitCSV(name string, r csvWriter) (err error) {
+// emitCSV writes the result's CSV panels into csvDir (no-op when
+// unset). A failed Close is reported: on a full disk the data loss
+// surfaces there, not in Write.
+func emitCSV(res experiments.Result) error {
 	if csvDir == "" {
 		return nil
 	}
 	if err := os.MkdirAll(csvDir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(csvDir, name+".csv")
+	for _, panel := range res.CSVPanels() {
+		if err := emitPanel(panel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emitPanel(panel experiments.CSVPanel) (err error) {
+	path := filepath.Join(csvDir, panel.Name+".csv")
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -74,18 +83,11 @@ func emitCSV(name string, r csvWriter) (err error) {
 			err = cerr
 		}
 	}()
-	if err := r.WriteCSV(f); err != nil {
+	if err := panel.Write(f); err != nil {
 		return err
 	}
 	logger.Info("wrote CSV", "path", path)
 	return nil
-}
-
-// runnerSpec pairs an experiment's runner with the parameter value
-// recorded in the run manifest.
-type runnerSpec struct {
-	run    func() error
-	params func() any
 }
 
 func main() {
@@ -95,9 +97,11 @@ func main() {
 // run is the real main; returning instead of os.Exit lets the
 // deferred profile/trace finalizers flush before the process ends.
 func run() int {
+	names := experiments.Names()
 	var (
 		experiment = flag.String("experiment", "table12",
 			"experiment to run: "+strings.Join(names, ", ")+", or all")
+		list      = flag.Bool("list", false, "list the experiment registry and exit")
 		full      = flag.Bool("full", false, "use exact paper-scale parameters (slow)")
 		scale     = flag.Uint("scale", 2, "scale-down steps from paper parameters (each step quarters the input)")
 		particles = flag.Int("particles", 0, "override particle count")
@@ -107,6 +111,7 @@ func run() int {
 		trials    = flag.Int("trials", 0, "override trial count")
 		seed      = flag.Uint64("seed", 0, "override random seed")
 		workers   = flag.Int("workers", 0, "cap accumulation/matrix-build worker goroutines (0 = GOMAXPROCS)")
+		cacheDir  = flag.String("cache", "", "read/write results in this content-addressed cache directory (shared with acdserverd -cachedir)")
 		csvDirF   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
 		report    = flag.String("report", "", "write a JSON run manifest to this file")
 		determin  = flag.Bool("deterministic", false, "strip host- and time-dependent fields from the manifest")
@@ -123,6 +128,13 @@ func run() int {
 		level = slog.LevelDebug
 	}
 	logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if *list {
+		for _, spec := range experiments.Registry() {
+			fmt.Printf("%-12s %s\n", spec.Name, spec.Desc)
+		}
+		return 0
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -161,6 +173,21 @@ func run() int {
 		}()
 	}
 
+	var store *resultcache.DiskStore
+	if *cacheDir != "" {
+		var err error
+		store, err = resultcache.OpenDisk(*cacheDir)
+		if err != nil {
+			logger.Error("cache", "err", err)
+			return 1
+		}
+	}
+
+	// Ctrl-C cancels the in-flight experiment cleanly through the
+	// runners' context plumbing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	params := func(paper experiments.Params) experiments.Params {
 		p := paper
 		if !*full {
@@ -189,133 +216,6 @@ func run() int {
 		}
 		return p
 	}
-	table12Params := func() any { return params(experiments.Table12Paper) }
-	threedParams := func() experiments.ThreeDParams {
-		p := experiments.ThreeDDefault
-		if *full {
-			p.Particles = 200000
-			p.Order = 7     // 128^3 cells
-			p.ProcOrder = 3 // 512 processors on an 8x8x8 torus
-			p.ANNSOrder = 5 // 32^3 full grid
-		}
-		return p
-	}
-	clusteringParams := func() (order uint, trials int) {
-		if *full {
-			return 10, 10000
-		}
-		return 8, 2000
-	}
-	metricsConfig := func() experiments.MetricsConfig {
-		cfg := experiments.MetricsConfig{
-			Params:      params(experiments.Table12Paper),
-			MetricOrder: 7,
-			QuerySide:   8,
-			QueryTrials: 5000,
-		}
-		if *full {
-			cfg.MetricOrder = 9
-		}
-		return cfg
-	}
-
-	runners := map[string]runnerSpec{
-		"table12": {
-			run:    func() error { return runTable12(params(experiments.Table12Paper)) },
-			params: table12Params,
-		},
-		"fig6": {
-			run:    func() error { return runFig6(params(experiments.Fig6Paper)) },
-			params: func() any { return params(experiments.Fig6Paper) },
-		},
-		"fig7": {
-			run:    func() error { return runFig7(params(experiments.Fig7Paper)) },
-			params: func() any { return params(experiments.Fig7Paper) },
-		},
-		"radius": {
-			run:    func() error { return runRadius(params(experiments.Table12Paper)) },
-			params: table12Params,
-		},
-		"nsweep": {
-			run:    func() error { return runNSweep(params(experiments.Table12Paper)) },
-			params: table12Params,
-		},
-		"meshtorus": {
-			run:    func() error { return runMeshTorus(params(experiments.Table12Paper)) },
-			params: table12Params,
-		},
-		"primitives": {
-			run:    func() error { return runPrimitives(params(experiments.Table12Paper)) },
-			params: table12Params,
-		},
-		"contention": {
-			run:    func() error { return runContention(params(experiments.Table12Paper)) },
-			params: table12Params,
-		},
-		"dynamic": {
-			run:    func() error { return runDynamic(params(experiments.Table12Paper)) },
-			params: table12Params,
-		},
-		"threed": {
-			run:    func() error { return runThreeD(threedParams()) },
-			params: func() any { return threedParams() },
-		},
-		"clustering": {
-			run: func() error {
-				order, trials := clusteringParams()
-				return runClustering(order, trials)
-			},
-			params: func() any {
-				order, trials := clusteringParams()
-				return map[string]any{"order": order, "trials": trials}
-			},
-		},
-		"loadbalance": {
-			run: func() error {
-				p := params(experiments.Table12Paper)
-				announce(p)
-				res, err := experiments.RunLoadBalance(p)
-				if err != nil {
-					return err
-				}
-				if err := emitCSV("loadbalance", res); err != nil {
-					return err
-				}
-				return res.Matrix().Render(os.Stdout)
-			},
-			params: table12Params,
-		},
-		"execmodel": {
-			run: func() error {
-				p := params(experiments.Table12Paper)
-				announce(p)
-				res, err := experiments.RunExecModel(p)
-				if err != nil {
-					return err
-				}
-				if err := emitCSV("execmodel", res); err != nil {
-					return err
-				}
-				return res.Matrix().Render(os.Stdout)
-			},
-			params: table12Params,
-		},
-		"metrics": {
-			run: func() error {
-				cfg := metricsConfig()
-				announce(cfg.Params)
-				res, err := experiments.RunMetrics(cfg)
-				if err != nil {
-					return err
-				}
-				if err := emitCSV("metrics", res); err != nil {
-					return err
-				}
-				return res.Matrix().Render(os.Stdout)
-			},
-			params: func() any { return metricsConfig() },
-		},
-	}
 
 	todo := []string{*experiment}
 	if *experiment == "all" {
@@ -323,7 +223,7 @@ func run() int {
 	}
 	manifest := obs.NewManifest("acdbench")
 	for _, name := range todo {
-		spec, ok := runners[name]
+		spec, ok := experiments.Lookup(name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "acdbench: unknown experiment %q (choose from %v or all)\n", name, names)
 			return 2
@@ -331,12 +231,13 @@ func run() int {
 		logger.Debug("starting experiment", "experiment", name)
 		obs.TakeSpans() // drop any stale phases from a failed predecessor
 		start := time.Now()
-		if err := spec.run(); err != nil {
+		effParams, err := runOne(ctx, spec, params(spec.Paper), store)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "acdbench: %s: %v\n", name, err)
 			return 1
 		}
 		wall := time.Since(start)
-		manifest.AddExperiment(name, spec.params(), wall, obs.TakeSpans())
+		manifest.AddExperiment(name, effParams, wall, obs.TakeSpans())
 		manifest.ObserveMemStats()
 		logger.Info("experiment completed", "experiment", name, "wall", wall.Round(time.Millisecond))
 	}
@@ -386,184 +287,58 @@ func run() int {
 	return 0
 }
 
+// runOne executes (or serves from the cache) one experiment, rendering
+// its tables to stdout and its CSV panels into csvDir. It returns the
+// effective parameter value for the run manifest.
+func runOne(ctx context.Context, spec experiments.Spec, p experiments.Params, store *resultcache.DiskStore) (any, error) {
+	announce(p)
+	key := resultcache.KeyFor(spec.Name, p.CanonicalKey(), experiments.ResultSchemaVersion)
+	if store != nil {
+		entry, ok, err := store.Get(key)
+		if err != nil {
+			logger.Warn("cache read failed, recomputing", "err", err)
+		} else if ok {
+			res, err := spec.Decode(entry.Result)
+			if err != nil {
+				return nil, fmt.Errorf("decoding cached result %s: %w", key, err)
+			}
+			logger.Info("served from cache", "experiment", spec.Name, "key", key.String()[:12])
+			return json.RawMessage(entry.Params), renderAndEmit(res)
+		}
+	}
+
+	before := obs.Default().Snapshot()
+	start := time.Now()
+	out, err := spec.Run(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		entry, err := serve.BuildEntry(key, spec.Name, out, time.Since(start),
+			obs.Default().Snapshot().Sub(before))
+		if err != nil {
+			return nil, err
+		}
+		if err := store.Put(entry); err != nil {
+			logger.Warn("cache write failed", "err", err)
+		} else {
+			logger.Debug("cached result", "experiment", spec.Name, "key", key.String()[:12])
+		}
+	}
+	return out.Params, renderAndEmit(out.Result)
+}
+
+// renderAndEmit writes the result tables to stdout and the CSV panels
+// to csvDir.
+func renderAndEmit(res experiments.Result) error {
+	if err := res.Render(os.Stdout); err != nil {
+		return err
+	}
+	return emitCSV(res)
+}
+
 func announce(p experiments.Params) {
 	logger.Info("parameters",
 		"n", p.Particles, "resolution", fmt.Sprintf("%dx%d", 1<<p.Order, 1<<p.Order),
 		"p", p.P(), "radius", p.Radius, "trials", p.Trials, "seed", p.Seed)
-}
-
-func runTable12(p experiments.Params) error {
-	announce(p)
-	results, err := experiments.RunTable12(p)
-	if err != nil {
-		return err
-	}
-	for _, res := range results {
-		if err := emitCSV("table12_"+res.Distribution, res); err != nil {
-			return err
-		}
-		nfi, ffi := res.Matrices()
-		if err := nfi.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-		if err := ffi.Render(os.Stdout); err != nil {
-			return err
-		}
-		fmt.Println()
-	}
-	return nil
-}
-
-func runFig6(p experiments.Params) error {
-	announce(p)
-	res, err := experiments.RunFig6(p)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("fig6", res); err != nil {
-		return err
-	}
-	nfi, ffi := res.Matrices()
-	if err := nfi.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	return ffi.Render(os.Stdout)
-}
-
-func runFig7(p experiments.Params) error {
-	announce(p)
-	// Sweep processor orders from 4^(ProcOrder-3) up to 4^ProcOrder,
-	// the paper's 1,024..65,536 at full scale.
-	var orders []uint
-	lo := uint(2)
-	if p.ProcOrder > 3 {
-		lo = p.ProcOrder - 3
-	}
-	for o := lo; o <= p.ProcOrder; o++ {
-		orders = append(orders, o)
-	}
-	res, err := experiments.RunFig7(p, orders)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("fig7", res); err != nil {
-		return err
-	}
-	nfi, ffi := res.SeriesTables()
-	if err := nfi.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	return ffi.Render(os.Stdout)
-}
-
-func runRadius(p experiments.Params) error {
-	announce(p)
-	res, err := experiments.RunRadiusSweep(p, []int{1, 2, 4, 6, 8})
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("radius", res); err != nil {
-		return err
-	}
-	return res.SeriesTable().Render(os.Stdout)
-}
-
-func runNSweep(p experiments.Params) error {
-	announce(p)
-	sizes := []int{p.Particles / 8, p.Particles / 4, p.Particles / 2, p.Particles}
-	res, err := experiments.RunSizeSweep(p, sizes)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("nsweep", res); err != nil {
-		return err
-	}
-	nfi, ffi := res.SeriesTables()
-	if err := nfi.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	return ffi.Render(os.Stdout)
-}
-
-func runMeshTorus(p experiments.Params) error {
-	announce(p)
-	res, err := experiments.RunMeshTorus(p)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("meshtorus", res); err != nil {
-		return err
-	}
-	return res.Matrix().Render(os.Stdout)
-}
-
-func runPrimitives(p experiments.Params) error {
-	logger.Info("parameters", "p", p.P())
-	res := experiments.RunPrimitives(p.ProcOrder)
-	mesh, torus := res.Matrices()
-	if err := mesh.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	return torus.Render(os.Stdout)
-}
-
-func runContention(p experiments.Params) error {
-	announce(p)
-	res, err := experiments.RunContention(p)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("contention", res); err != nil {
-		return err
-	}
-	return res.Matrix().Render(os.Stdout)
-}
-
-func runDynamic(p experiments.Params) error {
-	announce(p)
-	res, err := experiments.RunDynamic(p, 8)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("dynamic", res); err != nil {
-		return err
-	}
-	static, reorder := res.SeriesTables()
-	if err := static.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	return reorder.Render(os.Stdout)
-}
-
-func runClustering(order uint, trials int) error {
-	logger.Info("parameters",
-		"resolution", fmt.Sprintf("%dx%d", 1<<order, 1<<order), "trials_per_query_size", trials)
-	res, err := experiments.RunClustering(order, []uint32{2, 4, 8, 16, 32}, trials, 2013)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("clustering", res); err != nil {
-		return err
-	}
-	return res.SeriesTable().Render(os.Stdout)
-}
-
-func runThreeD(p experiments.ThreeDParams) error {
-	logger.Info("parameters",
-		"n", p.Particles, "resolution", fmt.Sprintf("%d^3", 1<<p.Order),
-		"p", 1<<(3*p.ProcOrder), "radius", p.Radius, "trials", p.Trials, "seed", p.Seed)
-	res, err := experiments.RunThreeD(p)
-	if err != nil {
-		return err
-	}
-	if err := emitCSV("threed", res); err != nil {
-		return err
-	}
-	return res.Matrix().Render(os.Stdout)
 }

@@ -1,0 +1,129 @@
+// Command acdserverd serves the experiment registry over HTTP: each
+// deterministic experiment is computed once per distinct parameter
+// set, cached by content address, and replayed byte-identically on
+// every later request. Concurrent identical requests coalesce onto a
+// single computation; a bounded worker pool with an admission queue
+// applies backpressure instead of unbounded latency.
+//
+// Usage:
+//
+//	acdserverd                                # listen on :8080
+//	acdserverd -addr :9000 -workers 4         # bounded pool
+//	acdserverd -cachedir /var/cache/sfcacd    # persistent result store
+//
+// API:
+//
+//	POST /v1/experiments/{name}   JSON Params in (optional; merged over
+//	                              ?preset=scaled|paper), result +
+//	                              manifest out, X-Cache: hit|miss|coalesced
+//	GET  /v1/experiments          registry listing
+//	GET  /healthz                 liveness
+//	GET  /metrics                 obs metric snapshot
+//	GET  /debug/pprof/            pprof handlers
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sfcacd/internal/resultcache"
+	"sfcacd/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "concurrent experiment computations (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue", 0, "admission queue bound beyond the worker pool (0 = 64)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory result cache budget in bytes (0 = 256 MiB)")
+		cacheDir   = flag.String("cachedir", "", "also persist results in this content-addressed directory")
+		verbose    = flag.Bool("v", false, "enable debug-level logging")
+	)
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	opts := serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheBytes: *cacheBytes,
+	}
+	if *cacheDir != "" {
+		disk, err := resultcache.OpenDisk(*cacheDir)
+		if err != nil {
+			logger.Error("cachedir", "err", err)
+			return 1
+		}
+		opts.Disk = disk
+		logger.Info("persistent result store open", "dir", disk.Dir())
+	}
+	server := serve.New(opts)
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(logger, serve.NewHandler(server)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	logger.Info("acdserverd listening", "addr", *addr,
+		"workers", server.Workers(), "queue", server.QueueDepth())
+
+	select {
+	case err := <-errc:
+		logger.Error("serve", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Error("shutdown", "err", err)
+		return 1
+	}
+	return 0
+}
+
+// logRequests logs one line per completed request at debug level.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		logger.Debug("request",
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"cache", rec.Header().Get("X-Cache"), "dur", time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// statusRecorder captures the response status for logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}

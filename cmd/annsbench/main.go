@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,7 @@ func main() {
 	)
 	flag.Parse()
 
-	res, err := experiments.RunFig5(*minOrder, *maxOrder, *radius)
+	res, err := experiments.RunFig5(context.Background(), *minOrder, *maxOrder, *radius)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "annsbench:", err)
 		os.Exit(1)

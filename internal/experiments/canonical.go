@@ -1,0 +1,26 @@
+package experiments
+
+import "fmt"
+
+// ResultSchemaVersion identifies the result encoding the serving layer
+// caches. It participates in every cache key, so bumping it invalidates
+// all previously cached results. Bump whenever a result struct's JSON
+// layout changes or a runner's output changes for equal Params.
+const ResultSchemaVersion = "sfcacd/results/v1"
+
+// CanonicalKey returns the canonical cache identity of p: a stable,
+// self-describing encoding whose bytes never change for equal
+// parameter values. The field order is fixed by this function, not by
+// the struct layout, so reordering Params fields cannot silently
+// change cache keys; TestCanonicalKeyPinned pins the exact bytes and
+// TestCanonicalKeyCoversParams fails when Params gains a field this
+// encoding does not account for.
+//
+// Workers is deliberately excluded: results are identical for any
+// worker count (a documented invariant, enforced by the differential
+// tests), so runs that differ only in parallelism share one cache
+// entry.
+func (p Params) CanonicalKey() string {
+	return fmt.Sprintf("params/v1:n=%d,k=%d,po=%d,r=%d,t=%d,s=%d",
+		p.Particles, p.Order, p.ProcOrder, p.Radius, p.Trials, p.Seed)
+}

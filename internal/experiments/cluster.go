@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sfcacd/internal/clustering"
@@ -40,7 +41,7 @@ func (r ClusterResult) SeriesTable() *tablefmt.SeriesTable {
 
 // RunClustering estimates the clustering metric for each curve over
 // random square queries at the given resolution order.
-func RunClustering(order uint, querySides []uint32, trials int, seed uint64) (ClusterResult, error) {
+func RunClustering(ctx context.Context, order uint, querySides []uint32, trials int, seed uint64) (ClusterResult, error) {
 	if len(querySides) == 0 || trials < 1 || order < 1 || order > 12 {
 		return ClusterResult{}, fmt.Errorf("experiments: bad clustering parameters")
 	}
@@ -52,6 +53,9 @@ func RunClustering(order uint, querySides []uint32, trials int, seed uint64) (Cl
 	}
 	for c, curve := range curves {
 		for q, qs := range querySides {
+			if err := ctx.Err(); err != nil {
+				return ClusterResult{}, err
+			}
 			r := rng.New(seed + uint64(q)*1000 + uint64(c))
 			res.Avg[c][q] = clustering.AverageClusters(curve, order, qs, trials, r)
 		}

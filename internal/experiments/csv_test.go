@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -10,7 +11,7 @@ func countLines(s string) int {
 }
 
 func TestTable12CSV(t *testing.T) {
-	res, err := RunTable12(testParams)
+	res, err := RunTable12(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestTable12CSV(t *testing.T) {
 }
 
 func TestFig5CSV(t *testing.T) {
-	res, err := RunFig5(1, 3, 1)
+	res, err := RunFig5(context.Background(), 1, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestFig5CSV(t *testing.T) {
 
 func TestFig6And7CSV(t *testing.T) {
 	p := testParams
-	res6, err := RunFig6(p)
+	res6, err := RunFig6(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFig6And7CSV(t *testing.T) {
 	if got := countLines(b.String()); got != 1+6*4*2 {
 		t.Fatalf("fig6: %d lines", got)
 	}
-	res7, err := RunFig7(p, []uint{2, 3})
+	res7, err := RunFig7(context.Background(), p, []uint{2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestFig6And7CSV(t *testing.T) {
 func TestStudyCSVEmitters(t *testing.T) {
 	var b strings.Builder
 
-	mt, err := RunMeshTorus(testParams)
+	mt, err := RunMeshTorus(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestStudyCSVEmitters(t *testing.T) {
 	}
 
 	b.Reset()
-	ss, err := RunSizeSweep(testParams, []int{500, 1000})
+	ss, err := RunSizeSweep(context.Background(), testParams, []int{500, 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestStudyCSVEmitters(t *testing.T) {
 	}
 
 	b.Reset()
-	lb, err := RunLoadBalance(testParams)
+	lb, err := RunLoadBalance(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestStudyCSVEmitters(t *testing.T) {
 	}
 
 	b.Reset()
-	em, err := RunExecModel(testParams)
+	em, err := RunExecModel(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestStudyCSVEmitters(t *testing.T) {
 	}
 
 	b.Reset()
-	me, err := RunMetrics(MetricsConfig{
+	me, err := RunMetrics(context.Background(), MetricsConfig{
 		Params: testParams, MetricOrder: 5, QuerySide: 4, QueryTrials: 200,
 	})
 	if err != nil {
@@ -136,7 +137,7 @@ func TestStudyCSVEmitters(t *testing.T) {
 	}
 
 	b.Reset()
-	co, err := RunContention(testParams)
+	co, err := RunContention(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestStudyCSVEmitters(t *testing.T) {
 func TestRemainingCSVEmitters(t *testing.T) {
 	var b strings.Builder
 
-	rs, err := RunRadiusSweep(testParams, []int{1, 2})
+	rs, err := RunRadiusSweep(context.Background(), testParams, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestRemainingCSVEmitters(t *testing.T) {
 	}
 
 	b.Reset()
-	cl, err := RunClustering(6, []uint32{2, 4}, 100, 1)
+	cl, err := RunClustering(context.Background(), 6, []uint32{2, 4}, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestRemainingCSVEmitters(t *testing.T) {
 	b.Reset()
 	p := testParams
 	p.Particles = 500
-	dy, err := RunDynamic(p, 1)
+	dy, err := RunDynamic(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestRemainingCSVEmitters(t *testing.T) {
 	td.Particles = 500
 	td.Order = 4
 	td.ANNSOrder = 2
-	t3, err := RunThreeD(td)
+	t3, err := RunThreeD(context.Background(), td)
 	if err != nil {
 		t.Fatal(err)
 	}

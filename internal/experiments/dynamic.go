@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sfcacd/internal/acd"
@@ -77,7 +78,7 @@ func drift(pts []geom.Point, order uint, r *rng.Rand) {
 
 // RunDynamic simulates `steps` drift timesteps and reports the NFI ACD
 // per curve under the static and reorder policies on a torus.
-func RunDynamic(p Params, steps int) (DynamicResult, error) {
+func RunDynamic(ctx context.Context, p Params, steps int) (DynamicResult, error) {
 	if err := p.Validate(); err != nil {
 		return DynamicResult{}, err
 	}
@@ -115,6 +116,9 @@ func RunDynamic(p Params, steps int) (DynamicResult, error) {
 			drift(pts, p.Order, driftRand)
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return DynamicResult{}, err
+			}
 			torus := topology.NewTorus(p.ProcOrder, curve)
 			// Static policy: initial owners, current positions.
 			static, err := acd.FromOwners(pts, initialRanks[c], p.Order, p.P())

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestRunDynamic(t *testing.T) {
 	p := testParams
 	p.Particles = 2000
-	res, err := RunDynamic(p, 3)
+	res, err := RunDynamic(context.Background(), p, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestRunDynamic(t *testing.T) {
 				s, res.Reorder[hilbert][s], res.Reorder[rowmajor][s])
 		}
 	}
-	if _, err := RunDynamic(p, 0); err == nil {
+	if _, err := RunDynamic(context.Background(), p, 0); err == nil {
 		t.Error("steps=0 accepted")
 	}
 	var b strings.Builder
@@ -62,11 +63,11 @@ func TestRunDynamic(t *testing.T) {
 func TestRunDynamicDeterministic(t *testing.T) {
 	p := testParams
 	p.Particles = 800
-	a, err := RunDynamic(p, 2)
+	a, err := RunDynamic(context.Background(), p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunDynamic(p, 2)
+	b, err := RunDynamic(context.Background(), p, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestRunThreeD(t *testing.T) {
 	p.Particles = 3000
 	p.Order = 5
 	p.ANNSOrder = 3
-	res, err := RunThreeD(p)
+	res, err := RunThreeD(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,12 +118,12 @@ func TestRunThreeD(t *testing.T) {
 	}
 	bad := p
 	bad.Particles = 0
-	if _, err := RunThreeD(bad); err == nil {
+	if _, err := RunThreeD(context.Background(), bad); err == nil {
 		t.Error("bad 3D params accepted")
 	}
 	bad = p
 	bad.Particles = 1 << 30
-	if _, err := RunThreeD(bad); err == nil {
+	if _, err := RunThreeD(context.Background(), bad); err == nil {
 		t.Error("overfull 3D grid accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sfcacd/internal/acd"
 	"sfcacd/internal/dist"
 	"sfcacd/internal/execmodel"
@@ -42,7 +43,7 @@ func (r ExecModelResult) Matrix() *tablefmt.Matrix {
 
 // RunExecModel computes ACD and modeled makespan per curve for a
 // uniform input on a torus with the default cost parameters.
-func RunExecModel(p Params) (ExecModelResult, error) {
+func RunExecModel(ctx context.Context, p Params) (ExecModelResult, error) {
 	if err := p.Validate(); err != nil {
 		return ExecModelResult{}, err
 	}
@@ -60,6 +61,9 @@ func RunExecModel(p Params) (ExecModelResult, error) {
 			return ExecModelResult{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return ExecModelResult{}, err
+			}
 			a, err := acd.Assign(pts, curve, p.Order, p.P())
 			if err != nil {
 				return ExecModelResult{}, err

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunExecModel(t *testing.T) {
-	res, err := RunExecModel(testParams)
+	res, err := RunExecModel(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,17 +37,17 @@ func TestRunExecModel(t *testing.T) {
 	}
 	bad := testParams
 	bad.Trials = 0
-	if _, err := RunExecModel(bad); err == nil {
+	if _, err := RunExecModel(context.Background(), bad); err == nil {
 		t.Error("bad params accepted")
 	}
 }
 
 func TestRunExecModelDeterministic(t *testing.T) {
-	a, err := RunExecModel(testParams)
+	a, err := RunExecModel(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunExecModel(testParams)
+	b, err := RunExecModel(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}

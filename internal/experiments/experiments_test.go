@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -73,7 +74,7 @@ func TestParamsP(t *testing.T) {
 }
 
 func TestRunTable12ShapeAndDeterminism(t *testing.T) {
-	res, err := RunTable12(testParams)
+	res, err := RunTable12(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestRunTable12ShapeAndDeterminism(t *testing.T) {
 		}
 	}
 	// Determinism.
-	res2, err := RunTable12(testParams)
+	res2, err := RunTable12(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestTable12PaperOrdering(t *testing.T) {
 	//    order for every particle order (Table I row comparison).
 	//  - The diagonal (same curve both roles) satisfies
 	//    hilbert < rowmajor by a wide margin.
-	res, err := RunTable12(testParams)
+	res, err := RunTable12(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestTable12PaperOrdering(t *testing.T) {
 func TestTable12NormalWorseThanUniformForRecursiveNFI(t *testing.T) {
 	// §VI-A: recursive curves do much better on uniform than on the
 	// centrally clustered normal input (paper reports ~2x).
-	res, err := RunTable12(testParams)
+	res, err := RunTable12(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestTable12NormalWorseThanUniformForRecursiveNFI(t *testing.T) {
 }
 
 func TestTable12Matrices(t *testing.T) {
-	res, err := RunTable12(testParams)
+	res, err := RunTable12(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestTable12Matrices(t *testing.T) {
 }
 
 func TestRunFig5MatchesANNSPackage(t *testing.T) {
-	res, err := RunFig5(1, 5, 1)
+	res, err := RunFig5(context.Background(), 1, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,16 +208,16 @@ func TestRunFig5MatchesANNSPackage(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunFig5(3, 2, 1); err == nil {
+	if _, err := RunFig5(context.Background(), 3, 2, 1); err == nil {
 		t.Error("bad order range accepted")
 	}
-	if _, err := RunFig5(1, 3, 0); err == nil {
+	if _, err := RunFig5(context.Background(), 1, 3, 0); err == nil {
 		t.Error("bad radius accepted")
 	}
 }
 
 func TestRunFig5SeriesTable(t *testing.T) {
-	res, err := RunFig5(1, 4, 6)
+	res, err := RunFig5(context.Background(), 1, 4, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestRunFig5SeriesTable(t *testing.T) {
 func TestRunFig6PaperTrends(t *testing.T) {
 	p := testParams
 	p.Radius = 2
-	res, err := RunFig6(p)
+	res, err := RunFig6(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestRunFig6PaperTrends(t *testing.T) {
 
 func TestRunFig7Trends(t *testing.T) {
 	p := testParams
-	res, err := RunFig7(p, []uint{2, 3, 4})
+	res, err := RunFig7(context.Background(), p, []uint{2, 3, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestRunFig7Trends(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunFig7(p, nil); err == nil {
+	if _, err := RunFig7(context.Background(), p, nil); err == nil {
 		t.Error("empty sweep accepted")
 	}
 	var b strings.Builder
@@ -323,7 +324,7 @@ func TestRunFig7Trends(t *testing.T) {
 }
 
 func TestRunRadiusSweepOrderingInvariant(t *testing.T) {
-	res, err := RunRadiusSweep(testParams, []int{1, 2, 4})
+	res, err := RunRadiusSweep(context.Background(), testParams, []int{1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +355,7 @@ func TestRunRadiusSweepOrderingInvariant(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunRadiusSweep(testParams, nil); err == nil {
+	if _, err := RunRadiusSweep(context.Background(), testParams, nil); err == nil {
 		t.Error("empty radius sweep accepted")
 	}
 	var b strings.Builder
@@ -364,7 +365,7 @@ func TestRunRadiusSweepOrderingInvariant(t *testing.T) {
 }
 
 func TestRunSizeSweep(t *testing.T) {
-	res, err := RunSizeSweep(testParams, []int{1000, 4000})
+	res, err := RunSizeSweep(context.Background(), testParams, []int{1000, 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +379,7 @@ func TestRunSizeSweep(t *testing.T) {
 				res.NFI[hilbert][i], res.NFI[rowmajor][i])
 		}
 	}
-	if _, err := RunSizeSweep(testParams, nil); err == nil {
+	if _, err := RunSizeSweep(context.Background(), testParams, nil); err == nil {
 		t.Error("empty size sweep accepted")
 	}
 	var b strings.Builder
@@ -392,7 +393,7 @@ func TestRunSizeSweep(t *testing.T) {
 }
 
 func TestRunMeshTorusWrapLinkUtility(t *testing.T) {
-	res, err := RunMeshTorus(testParams)
+	res, err := RunMeshTorus(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,7 +457,7 @@ func TestRunPrimitives(t *testing.T) {
 }
 
 func TestRunContention(t *testing.T) {
-	res, err := RunContention(testParams)
+	res, err := RunContention(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}

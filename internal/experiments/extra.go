@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sfcacd/internal/acd"
 	"sfcacd/internal/contention"
 	"sfcacd/internal/dist"
@@ -108,7 +109,7 @@ func (r ContentionResult) Matrix() *tablefmt.Matrix {
 
 // RunContention routes the near-field traffic of a uniform input over
 // the mesh and torus and reports congestion alongside the ACD.
-func RunContention(p Params) (ContentionResult, error) {
+func RunContention(ctx context.Context, p Params) (ContentionResult, error) {
 	if err := p.Validate(); err != nil {
 		return ContentionResult{}, err
 	}
@@ -129,6 +130,9 @@ func RunContention(p Params) (ContentionResult, error) {
 			return ContentionResult{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return ContentionResult{}, err
+			}
 			a, err := acd.Assign(pts, curve, p.Order, p.P())
 			if err != nil {
 				return ContentionResult{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sfcacd/internal/anns"
@@ -44,7 +45,7 @@ func (f Fig5Result) SeriesTable() *tablefmt.SeriesTable {
 // resolution order in [minOrder, maxOrder] at the given radius. The
 // paper sweeps 2x2 through 512x512 (orders 1..9), radius 1 in Figure
 // 5(a) and radius 6 in Figure 5(b).
-func RunFig5(minOrder, maxOrder uint, radius int) (Fig5Result, error) {
+func RunFig5(ctx context.Context, minOrder, maxOrder uint, radius int) (Fig5Result, error) {
 	if minOrder < 1 || maxOrder < minOrder || maxOrder > 12 {
 		return Fig5Result{}, fmt.Errorf("experiments: bad order range [%d,%d]", minOrder, maxOrder)
 	}
@@ -60,6 +61,9 @@ func RunFig5(minOrder, maxOrder uint, radius int) (Fig5Result, error) {
 	for c, curve := range curves {
 		res.ANNS[c] = make([]float64, len(res.Orders))
 		for i, o := range res.Orders {
+			if err := ctx.Err(); err != nil {
+				return Fig5Result{}, err
+			}
 			res.ANNS[c][i] = anns.Stretch(curve, o, anns.Options{Radius: radius}).Mean
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sfcacd/internal/acd"
 	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
@@ -49,7 +50,7 @@ func (f Fig6Result) Matrices() (nfi, ffi *tablefmt.Matrix) {
 // the six topologies. The paper used 1,000,000 particles on 4096x4096
 // with NFI radius 4 (and omitted bus/ring and row-major NFI bars from
 // the plot because they dwarf the rest; we report them).
-func RunFig6(p Params) (Fig6Result, error) {
+func RunFig6(ctx context.Context, p Params) (Fig6Result, error) {
 	if err := p.Validate(); err != nil {
 		return Fig6Result{}, err
 	}
@@ -66,6 +67,9 @@ func RunFig6(p Params) (Fig6Result, error) {
 			return Fig6Result{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return Fig6Result{}, err
+			}
 			a, err := acd.Assign(pts, curve, p.Order, p.P())
 			if err != nil {
 				return Fig6Result{}, err

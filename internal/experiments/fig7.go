@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sfcacd/internal/acd"
@@ -47,7 +48,7 @@ func (f Fig7Result) SeriesTables() (nfi, ffi *tablefmt.SeriesTable) {
 // topology, and the processor count swept over 4^o for o in
 // procOrders. The paper sweeps roughly 1,024 through 65,536 processors
 // with 1,000,000 particles.
-func RunFig7(p Params, procOrders []uint) (Fig7Result, error) {
+func RunFig7(ctx context.Context, p Params, procOrders []uint) (Fig7Result, error) {
 	if err := p.Validate(); err != nil {
 		return Fig7Result{}, err
 	}
@@ -70,6 +71,9 @@ func RunFig7(p Params, procOrders []uint) (Fig7Result, error) {
 		}
 		for c, curve := range curves {
 			for i, po := range procOrders {
+				if err := ctx.Err(); err != nil {
+					return Fig7Result{}, err
+				}
 				procs := 1 << (2 * po)
 				a, err := acd.Assign(pts, curve, p.Order, procs)
 				if err != nil {

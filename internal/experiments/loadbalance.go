@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sfcacd/internal/acd"
 	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
@@ -45,7 +46,7 @@ func (r LoadBalanceResult) Matrix() *tablefmt.Matrix {
 // (skewed) input over a torus. Per-particle work is its near-field
 // neighbor count — the direct-interaction cost the FMM pays per
 // particle.
-func RunLoadBalance(p Params) (LoadBalanceResult, error) {
+func RunLoadBalance(ctx context.Context, p Params) (LoadBalanceResult, error) {
 	if err := p.Validate(); err != nil {
 		return LoadBalanceResult{}, err
 	}
@@ -64,6 +65,9 @@ func RunLoadBalance(p Params) (LoadBalanceResult, error) {
 			return LoadBalanceResult{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return LoadBalanceResult{}, err
+			}
 			// Count-balanced baseline.
 			count, err := acd.Assign(pts, curve, p.Order, p.P())
 			if err != nil {

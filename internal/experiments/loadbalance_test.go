@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestRunLoadBalance(t *testing.T) {
 	p := testParams
-	res, err := RunLoadBalance(p)
+	res, err := RunLoadBalance(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,17 +41,17 @@ func TestRunLoadBalance(t *testing.T) {
 	}
 	bad := p
 	bad.Trials = 0
-	if _, err := RunLoadBalance(bad); err == nil {
+	if _, err := RunLoadBalance(context.Background(), bad); err == nil {
 		t.Error("bad params accepted")
 	}
 }
 
 func TestRunLoadBalanceDeterministic(t *testing.T) {
-	a, err := RunLoadBalance(testParams)
+	a, err := RunLoadBalance(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunLoadBalance(testParams)
+	b, err := RunLoadBalance(context.Background(), testParams)
 	if err != nil {
 		t.Fatal(err)
 	}

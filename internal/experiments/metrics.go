@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sfcacd/internal/acd"
 	"sfcacd/internal/anns"
 	"sfcacd/internal/clustering"
@@ -59,7 +60,7 @@ type MetricsConfig struct {
 }
 
 // RunMetrics computes the landscape.
-func RunMetrics(cfg MetricsConfig) (MetricsResult, error) {
+func RunMetrics(ctx context.Context, cfg MetricsConfig) (MetricsResult, error) {
 	if err := cfg.Params.Validate(); err != nil {
 		return MetricsResult{}, err
 	}
@@ -78,6 +79,9 @@ func RunMetrics(cfg MetricsConfig) (MetricsResult, error) {
 		FFI:        make([]float64, n),
 	}
 	for c, curve := range curves {
+		if err := ctx.Err(); err != nil {
+			return MetricsResult{}, err
+		}
 		res.ANNS[c] = anns.Stretch(curve, cfg.MetricOrder, anns.Options{Radius: 1}).Mean
 		res.MaxStretch[c] = anns.MaxStretch(curve, cfg.MetricOrder, anns.Options{Radius: 1})
 		res.AllPairs[c] = anns.AllPairsStretch(curve, cfg.MetricOrder, 20000,
@@ -91,6 +95,9 @@ func RunMetrics(cfg MetricsConfig) (MetricsResult, error) {
 			return MetricsResult{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return MetricsResult{}, err
+			}
 			a, err := acd.Assign(pts, curve, cfg.Params.Order, cfg.Params.P())
 			if err != nil {
 				return MetricsResult{}, err

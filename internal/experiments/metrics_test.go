@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,7 @@ func TestRunMetricsLandscape(t *testing.T) {
 		QuerySide:   8,
 		QueryTrials: 1000,
 	}
-	res, err := RunMetrics(cfg)
+	res, err := RunMetrics(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,17 +47,17 @@ func TestRunMetricsLandscape(t *testing.T) {
 	// Config validation.
 	bad := cfg
 	bad.MetricOrder = 0
-	if _, err := RunMetrics(bad); err == nil {
+	if _, err := RunMetrics(context.Background(), bad); err == nil {
 		t.Error("bad metric order accepted")
 	}
 	bad = cfg
 	bad.QueryTrials = 0
-	if _, err := RunMetrics(bad); err == nil {
+	if _, err := RunMetrics(context.Background(), bad); err == nil {
 		t.Error("zero query trials accepted")
 	}
 	bad = cfg
 	bad.Params.Trials = 0
-	if _, err := RunMetrics(bad); err == nil {
+	if _, err := RunMetrics(context.Background(), bad); err == nil {
 		t.Error("bad params accepted")
 	}
 }

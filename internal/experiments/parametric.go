@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sfcacd/internal/acd"
@@ -37,7 +38,7 @@ func (r RadiusSweepResult) SeriesTable() *tablefmt.SeriesTable {
 }
 
 // RunRadiusSweep computes the NFI ACD for each radius in radii.
-func RunRadiusSweep(p Params, radii []int) (RadiusSweepResult, error) {
+func RunRadiusSweep(ctx context.Context, p Params, radii []int) (RadiusSweepResult, error) {
 	if err := p.Validate(); err != nil {
 		return RadiusSweepResult{}, err
 	}
@@ -56,6 +57,9 @@ func RunRadiusSweep(p Params, radii []int) (RadiusSweepResult, error) {
 			return RadiusSweepResult{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return RadiusSweepResult{}, err
+			}
 			a, err := acd.Assign(pts, curve, p.Order, p.P())
 			if err != nil {
 				return RadiusSweepResult{}, err
@@ -102,7 +106,7 @@ func (r SizeSweepResult) SeriesTables() (nfi, ffi *tablefmt.SeriesTable) {
 
 // RunSizeSweep computes NFI and FFI ACD for each particle count in
 // sizes, holding Order, ProcOrder, and Radius fixed.
-func RunSizeSweep(p Params, sizes []int) (SizeSweepResult, error) {
+func RunSizeSweep(ctx context.Context, p Params, sizes []int) (SizeSweepResult, error) {
 	if len(sizes) == 0 {
 		return SizeSweepResult{}, fmt.Errorf("experiments: no sizes to sweep")
 	}
@@ -125,6 +129,9 @@ func RunSizeSweep(p Params, sizes []int) (SizeSweepResult, error) {
 				return SizeSweepResult{}, err
 			}
 			for c, curve := range curves {
+				if err := ctx.Err(); err != nil {
+					return SizeSweepResult{}, err
+				}
 				a, err := acd.Assign(pts, curve, q.Order, q.P())
 				if err != nil {
 					return SizeSweepResult{}, err
@@ -168,7 +175,7 @@ func (r MeshTorusResult) Matrix() *tablefmt.Matrix {
 }
 
 // RunMeshTorus computes the ablation at the given parameters.
-func RunMeshTorus(p Params) (MeshTorusResult, error) {
+func RunMeshTorus(ctx context.Context, p Params) (MeshTorusResult, error) {
 	if err := p.Validate(); err != nil {
 		return MeshTorusResult{}, err
 	}
@@ -186,6 +193,9 @@ func RunMeshTorus(p Params) (MeshTorusResult, error) {
 			return MeshTorusResult{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return MeshTorusResult{}, err
+			}
 			a, err := acd.Assign(pts, curve, p.Order, p.P())
 			if err != nil {
 				return MeshTorusResult{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sfcacd/internal/acd"
 	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
@@ -47,7 +48,7 @@ func (t Table12Result) Matrices() (nfi, ffi *tablefmt.Matrix) {
 // RunTable12 reproduces Tables I and II: for every input distribution
 // and every particle-order x processor-order SFC pair, the NFI and FFI
 // ACD on a torus of 4^ProcOrder processors, averaged over Trials.
-func RunTable12(p Params) ([]Table12Result, error) {
+func RunTable12(ctx context.Context, p Params) ([]Table12Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -62,11 +63,17 @@ func RunTable12(p Params) ([]Table12Result, error) {
 			FFI:          zeroMatrix(len(curves)),
 		}
 		for trial := 0; trial < p.Trials; trial++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			pts, err := samplePoints(sampler, p, trial)
 			if err != nil {
 				return nil, err
 			}
 			for pc, particleCurve := range curves {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				a, err := acd.Assign(pts, particleCurve, p.Order, p.P())
 				if err != nil {
 					return nil, err

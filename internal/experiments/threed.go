@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"sfcacd/internal/dist"
@@ -73,7 +74,7 @@ var ThreeDDefault = ThreeDParams{
 
 // RunThreeD runs the 3D validation: uniform particles ordered by each
 // 3D curve, distributed over a 3D torus placed with the same curve.
-func RunThreeD(p ThreeDParams) (ThreeDResult, error) {
+func RunThreeD(ctx context.Context, p ThreeDParams) (ThreeDResult, error) {
 	if p.Particles < 1 || p.Trials < 1 {
 		return ThreeDResult{}, fmt.Errorf("experiments: bad 3D params %+v", p)
 	}
@@ -100,6 +101,9 @@ func RunThreeD(p ThreeDParams) (ThreeDResult, error) {
 			return ThreeDResult{}, err
 		}
 		for c, curve := range curves {
+			if err := ctx.Err(); err != nil {
+				return ThreeDResult{}, err
+			}
 			a, err := model3d.Assign(pts, curve, p.Order, procs)
 			if err != nil {
 				return ThreeDResult{}, err

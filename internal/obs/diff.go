@@ -1,0 +1,59 @@
+package obs
+
+// Sub returns the change from prev to s: counters and histogram
+// observation counts subtract (clamped at zero, so a Reset between
+// the two snapshots cannot produce wrapped values), while gauges and
+// histogram min/max keep their current values, since last-value
+// metrics have no meaningful delta.
+//
+// The serving layer uses Sub to attribute process-wide metrics to one
+// computation by snapshotting around it. That attribution is exact
+// when computations run one at a time and approximate when they
+// overlap — the registry is process-wide, so a concurrent neighbor's
+// events land in the same counters.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{}
+	if len(s.Counters) > 0 {
+		d.Counters = make(map[string]uint64, len(s.Counters))
+		for name, v := range s.Counters {
+			if old := prev.Counters[name]; v > old {
+				d.Counters[name] = v - old
+			} else {
+				d.Counters[name] = 0
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			d.Gauges[name] = v
+		}
+	}
+	if len(s.Histograms) > 0 {
+		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, h := range s.Histograms {
+			old, ok := prev.Histograms[name]
+			if !ok {
+				d.Histograms[name] = h
+				continue
+			}
+			diff := h
+			if old.Count <= h.Count {
+				diff.Count = h.Count - old.Count
+			}
+			diff.Counts = make([]uint64, len(h.Counts))
+			for i, c := range h.Counts {
+				if i < len(old.Counts) && old.Counts[i] <= c {
+					diff.Counts[i] = c - old.Counts[i]
+				} else {
+					diff.Counts[i] = c
+				}
+			}
+			if h.Sum >= old.Sum {
+				diff.Sum = h.Sum - old.Sum
+			}
+			d.Histograms[name] = diff
+		}
+	}
+	return d
+}

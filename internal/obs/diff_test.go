@@ -1,0 +1,60 @@
+package obs
+
+import "testing"
+
+func TestSnapshotSubCounters(t *testing.T) {
+	prev := Snapshot{Counters: map[string]uint64{"a": 10, "b": 5}}
+	cur := Snapshot{Counters: map[string]uint64{"a": 17, "b": 3, "c": 2}}
+	d := cur.Sub(prev)
+	if d.Counters["a"] != 7 {
+		t.Errorf("a delta = %d, want 7", d.Counters["a"])
+	}
+	// b went backwards (a Reset happened between snapshots): clamp to
+	// zero instead of wrapping to a huge unsigned value.
+	if d.Counters["b"] != 0 {
+		t.Errorf("b delta = %d, want 0 (clamped)", d.Counters["b"])
+	}
+	if d.Counters["c"] != 2 {
+		t.Errorf("new counter c delta = %d, want 2", d.Counters["c"])
+	}
+}
+
+func TestSnapshotSubGaugesKeepCurrent(t *testing.T) {
+	prev := Snapshot{Gauges: map[string]float64{"g": 1.5}}
+	cur := Snapshot{Gauges: map[string]float64{"g": 4.25}}
+	if d := cur.Sub(prev); d.Gauges["g"] != 4.25 {
+		t.Errorf("gauge after Sub = %v, want the current value 4.25", d.Gauges["g"])
+	}
+}
+
+func TestSnapshotSubHistograms(t *testing.T) {
+	prev := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 3, Sum: 30, Min: 5, Max: 15, Counts: []uint64{1, 2}},
+	}}
+	cur := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h":   {Count: 8, Sum: 100, Min: 2, Max: 40, Counts: []uint64{3, 5}},
+		"new": {Count: 1, Sum: 7, Counts: []uint64{1}},
+	}}
+	d := cur.Sub(prev)
+	h := d.Histograms["h"]
+	if h.Count != 5 || h.Sum != 70 {
+		t.Errorf("h delta count/sum = %d/%v, want 5/70", h.Count, h.Sum)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 3 {
+		t.Errorf("h bucket deltas = %v, want [2 3]", h.Counts)
+	}
+	// Min/Max are last-value-style: the delta keeps the current window.
+	if h.Min != 2 || h.Max != 40 {
+		t.Errorf("h min/max = %v/%v, want 2/40", h.Min, h.Max)
+	}
+	if n := d.Histograms["new"]; n.Count != 1 || n.Sum != 7 {
+		t.Errorf("histogram absent from prev kept whole: %+v", n)
+	}
+}
+
+func TestSnapshotSubEmpty(t *testing.T) {
+	d := (Snapshot{}).Sub(Snapshot{})
+	if d.Counters != nil || d.Gauges != nil || d.Histograms != nil {
+		t.Errorf("empty Sub allocated maps: %+v", d)
+	}
+}

@@ -1,0 +1,92 @@
+package resultcache
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DiskStore is a content-addressed directory store: one JSON file per
+// entry at <dir>/<hex[:2]>/<hex>.json. It lets acdbench warm a cache
+// the daemon then serves from (and vice versa), and persists results
+// across restarts. Writes go through a temp file and rename, so a
+// crash can leave stray *.tmp files but never a truncated entry.
+type DiskStore struct {
+	dir string
+}
+
+// OpenDisk creates (if needed) and opens a disk store rooted at dir.
+func OpenDisk(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: opening disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// path returns the entry file of k.
+func (d *DiskStore) path(k Key) string {
+	hexKey := k.String()
+	return filepath.Join(d.dir, hexKey[:2], hexKey+".json")
+}
+
+// Get loads the entry stored under k. A missing entry returns ok ==
+// false with a nil error; a present but unreadable or corrupt entry
+// returns the error.
+func (d *DiskStore) Get(k Key) (Entry, bool, error) {
+	data, err := os.ReadFile(d.path(k))
+	if os.IsNotExist(err) {
+		return Entry{}, false, nil
+	}
+	if err != nil {
+		return Entry{}, false, err
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, false, fmt.Errorf("resultcache: corrupt entry %s: %w", k, err)
+	}
+	if e.Key != k {
+		return Entry{}, false, fmt.Errorf("resultcache: entry %s stored under key %s", e.Key, k)
+	}
+	return e, true, nil
+}
+
+// Put stores e under e.Key, atomically replacing any existing entry.
+func (d *DiskStore) Put(e Entry) error {
+	path := d.path(e.Key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// parseHex fills k from its lowercase hex form.
+func (k *Key) parseHex(s string) error {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(k) {
+		return fmt.Errorf("resultcache: bad key %q", s)
+	}
+	copy(k[:], raw)
+	return nil
+}

@@ -1,0 +1,113 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	store, err := OpenDisk(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFor("table12", "params", "v1")
+	if _, ok, err := store.Get(key); err != nil || ok {
+		t.Fatalf("Get on empty store = ok=%v err=%v, want miss with nil error", ok, err)
+	}
+	e := Entry{Key: key, Experiment: "table12",
+		Params:   json.RawMessage(`{"Particles":100}`),
+		Result:   json.RawMessage(`[{"curve":"hilbert"}]`),
+		Manifest: json.RawMessage(`{"schema":"x"}`)}
+	if err := store.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := store.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put = ok=%v err=%v", ok, err)
+	}
+	if got.Experiment != e.Experiment || string(got.Params) != string(e.Params) ||
+		string(got.Result) != string(e.Result) || string(got.Manifest) != string(e.Manifest) {
+		t.Errorf("round trip changed the entry: %+v", got)
+	}
+
+	// Overwrite refreshes in place.
+	e.Result = json.RawMessage(`[]`)
+	if err := store.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = store.Get(key)
+	if string(got.Result) != "[]" {
+		t.Errorf("overwrite did not replace the entry: %s", got.Result)
+	}
+
+	// No stray temp files after successful writes.
+	matches, _ := filepath.Glob(filepath.Join(store.Dir(), "*", "*.tmp"))
+	if len(matches) != 0 {
+		t.Errorf("stray temp files left behind: %v", matches)
+	}
+}
+
+func TestDiskStoreShardedLayout(t *testing.T) {
+	store, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFor("fig6", "params", "v1")
+	if err := store.Put(Entry{Key: key}); err != nil {
+		t.Fatal(err)
+	}
+	hexKey := key.String()
+	want := filepath.Join(store.Dir(), hexKey[:2], hexKey+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Errorf("entry not at sharded path %s: %v", want, err)
+	}
+}
+
+func TestDiskStoreCorruptEntry(t *testing.T) {
+	store, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyFor("fig7", "params", "v1")
+	hexKey := key.String()
+	dir := filepath.Join(store.Dir(), hexKey[:2])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, hexKey+".json"), []byte("{trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := store.Get(key); err == nil || ok {
+		t.Fatalf("corrupt entry Get = ok=%v err=%v, want error", ok, err)
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Errorf("error %q does not identify corruption", err)
+	}
+}
+
+func TestDiskStoreKeyMismatch(t *testing.T) {
+	store, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store a valid entry, then copy its file under a different key's
+	// path: the self-describing key must be verified on load.
+	good := Entry{Key: KeyFor("a", "p", "v"), Experiment: "a"}
+	if err := store.Put(good); err != nil {
+		t.Fatal(err)
+	}
+	wrong := KeyFor("b", "p", "v")
+	src, _ := os.ReadFile(store.path(good.Key))
+	dst := store.path(wrong)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := store.Get(wrong); err == nil || ok {
+		t.Fatalf("key-mismatched entry Get = ok=%v err=%v, want error", ok, err)
+	}
+}

@@ -1,0 +1,43 @@
+// Package resultcache is the serving layer's content-addressed result
+// store: a byte-size-accounted in-memory LRU (Cache) in front of an
+// optional on-disk store (DiskStore), both keyed by a stable hash of
+// the experiment's identity.
+//
+// The key covers everything that determines a result — the experiment
+// name, the canonical parameter encoding (experiments.CanonicalKey),
+// and the result schema version — so a hit can be served without
+// recomputation and a schema bump invalidates every stale entry at
+// once. Hit, miss, and eviction counts register in internal/obs and
+// therefore appear in run manifests and the daemon's /metrics.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Key is the content address of one cached result.
+type Key [sha256.Size]byte
+
+// String returns the key's lowercase hex form.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyFor derives the content address of an experiment run. The three
+// identity components are length-framed before hashing so no two
+// distinct (experiment, canonical, version) triples can collide by
+// concatenation (e.g. "ab"+"c" vs "a"+"bc").
+func KeyFor(experiment, canonical, version string) Key {
+	h := sha256.New()
+	var frame [8]byte
+	for _, part := range []string{experiment, canonical, version} {
+		n := len(part)
+		for i := 0; i < 8; i++ {
+			frame[i] = byte(n >> (8 * i))
+		}
+		h.Write(frame[:])
+		h.Write([]byte(part))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

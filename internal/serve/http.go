@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"sfcacd/internal/experiments"
+	"sfcacd/internal/obs"
+)
+
+// maxBodyBytes bounds a request body; parameter JSON is tiny.
+const maxBodyBytes = 1 << 20
+
+// Envelope is the JSON body of a successful experiment response. Raw
+// fields replay the cached bytes verbatim, so the body of a cache hit
+// is byte-identical to the body of the miss that produced it; only
+// the X-Cache header differs.
+type Envelope struct {
+	Experiment string          `json:"experiment"`
+	Key        string          `json:"key"`
+	Params     json.RawMessage `json:"params"`
+	Result     json.RawMessage `json:"result"`
+	Manifest   json.RawMessage `json:"manifest,omitempty"`
+}
+
+// errorBody is the JSON body of a failed request.
+type errorBody struct {
+	Error      string `json:"error"`
+	QueueDepth int    `json:"queue_depth,omitempty"`
+}
+
+// listEntry is one experiment in the GET /v1/experiments listing.
+type listEntry struct {
+	Name        string             `json:"name"`
+	Description string             `json:"description"`
+	PaperParams experiments.Params `json:"paper_params"`
+	// ScaledParams is the default configuration a POST without a body
+	// runs (the paper preset scaled down defaultScaleSteps times).
+	ScaledParams experiments.Params `json:"scaled_params"`
+}
+
+// defaultScaleSteps matches acdbench's default -scale: POSTed bodies
+// override a preset scaled down this many steps unless ?preset=paper.
+const defaultScaleSteps = 2
+
+// NewHandler returns the daemon's HTTP API over s:
+//
+//	POST /v1/experiments/{name}   run (or serve from cache) one experiment
+//	GET  /v1/experiments          registry listing
+//	GET  /healthz                 liveness
+//	GET  /metrics                 obs registry snapshot
+//	GET  /debug/pprof/...         pprof handlers
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments/{name}", s.handleRun)
+	mux.HandleFunc("GET /v1/experiments", handleList)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, obs.Default().Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleRun answers POST /v1/experiments/{name}. The body, when
+// present, is a partial experiments.Params JSON object merged over the
+// preset selected by ?preset=scaled (default) or ?preset=paper.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, ok := experiments.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", name), 0)
+		return
+	}
+	params := spec.Paper
+	switch preset := r.URL.Query().Get("preset"); preset {
+	case "", "scaled":
+		params = params.Scale(defaultScaleSteps)
+	case "paper":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown preset %q (use scaled or paper)", preset), 0)
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	// io.EOF means an absent body: run the preset as-is.
+	if err := dec.Decode(&params); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad params body: %v", err), 0)
+		return
+	}
+
+	resp, err := s.Do(r.Context(), name, params)
+	if err != nil {
+		writeDoError(w, r, err)
+		return
+	}
+	w.Header().Set("X-Cache", string(resp.Status))
+	writeJSON(w, http.StatusOK, Envelope{
+		Experiment: resp.Entry.Experiment,
+		Key:        resp.Entry.Key.String(),
+		Params:     resp.Entry.Params,
+		Result:     resp.Entry.Result,
+		Manifest:   resp.Entry.Manifest,
+	})
+}
+
+// writeDoError maps Server.Do errors onto HTTP statuses.
+func writeDoError(w http.ResponseWriter, r *http.Request, err error) {
+	var overload *OverloadError
+	switch {
+	case errors.Is(err, ErrUnknownExperiment):
+		writeError(w, http.StatusNotFound, err.Error(), 0)
+	case errors.Is(err, ErrInvalidParams):
+		writeError(w, http.StatusBadRequest, err.Error(), 0)
+	case errors.As(err, &overload):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error(), overload.QueueDepth)
+	case r.Context().Err() != nil:
+		// The client is gone; nothing useful can be written. 499 is
+		// the de-facto "client closed request" status.
+		w.WriteHeader(499)
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+	}
+}
+
+// handleList answers GET /v1/experiments from the registry.
+func handleList(w http.ResponseWriter, r *http.Request) {
+	specs := experiments.Registry()
+	out := make([]listEntry, len(specs))
+	for i, spec := range specs {
+		out[i] = listEntry{
+			Name:         spec.Name,
+			Description:  spec.Desc,
+			PaperParams:  spec.Paper,
+			ScaledParams: spec.Paper.Scale(defaultScaleSteps),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)+1))
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, msg string, queueDepth int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: msg, QueueDepth: queueDepth})
+}

@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sfcacd/internal/experiments"
+)
+
+// tinyBody overrides the scaled preset down to a millisecond-scale
+// configuration; HTTP tests post it so the suite stays fast.
+const tinyBody = `{"Particles":400,"Order":5,"ProcOrder":2,"Trials":1,"Seed":11}`
+
+func postExperiment(t *testing.T, h http.Handler, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandlerMissThenHitByteIdentical(t *testing.T) {
+	h := NewHandler(New(Options{Workers: 2}))
+	first := postExperiment(t, h, "/v1/experiments/table12", tinyBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first POST status %d: %s", first.Code, first.Body)
+	}
+	if got := first.Header().Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", got)
+	}
+	second := postExperiment(t, h, "/v1/experiments/table12", tinyBody)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second POST status %d: %s", second.Code, second.Body)
+	}
+	if got := second.Header().Get("X-Cache"); got != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("hit body is not byte-identical to the miss body")
+	}
+
+	var env Envelope
+	if err := json.Unmarshal(first.Body.Bytes(), &env); err != nil {
+		t.Fatalf("response is not an Envelope: %v", err)
+	}
+	if env.Experiment != "table12" || len(env.Key) != 64 || len(env.Result) == 0 || len(env.Manifest) == 0 {
+		t.Errorf("incomplete envelope: experiment=%q key=%q result=%dB manifest=%dB",
+			env.Experiment, env.Key, len(env.Result), len(env.Manifest))
+	}
+	var p experiments.Params
+	if err := json.Unmarshal(env.Params, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Particles != 400 || p.Order != 5 {
+		t.Errorf("effective params %+v did not apply the posted overrides", p)
+	}
+}
+
+func TestHandlerPresetMerge(t *testing.T) {
+	s := New(Options{Workers: 1})
+	var got experiments.Params
+	s.runFn = func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
+		got = p
+		return fakeOutput(p), nil
+	}
+	h := NewHandler(s)
+
+	// Empty body: the scaled preset runs as-is.
+	rec := postExperiment(t, h, "/v1/experiments/table12", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty body status %d: %s", rec.Code, rec.Body)
+	}
+	if want := experiments.Table12Paper.Scale(defaultScaleSteps); got != want {
+		t.Errorf("empty body ran %+v, want scaled preset %+v", got, want)
+	}
+
+	// Partial body over ?preset=paper: only the posted field changes.
+	rec = postExperiment(t, h, "/v1/experiments/table12?preset=paper", `{"Trials":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("preset=paper status %d: %s", rec.Code, rec.Body)
+	}
+	want := experiments.Table12Paper
+	want.Trials = 1
+	if got != want {
+		t.Errorf("preset=paper with override ran %+v, want %+v", got, want)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	h := NewHandler(New(Options{Workers: 1}))
+	cases := []struct {
+		name, url, body string
+		wantStatus      int
+		wantInError     string
+	}{
+		{"unknown experiment", "/v1/experiments/nonesuch", "", http.StatusNotFound, "unknown experiment"},
+		{"unknown preset", "/v1/experiments/table12?preset=huge", "", http.StatusBadRequest, "unknown preset"},
+		{"unknown field", "/v1/experiments/table12", `{"Particle":1}`, http.StatusBadRequest, "bad params body"},
+		{"malformed json", "/v1/experiments/table12", `{"Particles":`, http.StatusBadRequest, "bad params body"},
+		{"invalid params", "/v1/experiments/table12", `{"Trials":-1}`, http.StatusBadRequest, "invalid parameters"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := postExperiment(t, h, tc.url, tc.body)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", rec.Code, tc.wantStatus, rec.Body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if !strings.Contains(eb.Error, tc.wantInError) {
+				t.Errorf("error %q does not mention %q", eb.Error, tc.wantInError)
+			}
+		})
+	}
+}
+
+func TestHandlerOverload(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	s.runFn = func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
+		select {
+		case <-release:
+			return fakeOutput(p), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	h := NewHandler(s)
+
+	var wg sync.WaitGroup
+	for seed := 1; seed <= 2; seed++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			body := `{"Seed":` + string(rune('0'+seed)) + `}`
+			if rec := postExperiment(t, h, "/v1/experiments/table12", body); rec.Code != http.StatusOK {
+				t.Errorf("admitted request seed %d: status %d", seed, rec.Code)
+			}
+		}(seed)
+	}
+	waitFor(t, "both computations admitted", func() bool { return s.queued.Load() == 2 })
+
+	rec := postExperiment(t, h, "/v1/experiments/table12", `{"Seed":3}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded status %d, want 503 (body %s)", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 response missing Retry-After")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.QueueDepth != 2 {
+		t.Errorf("queue_depth = %d, want 2", eb.QueueDepth)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestHandlerList(t *testing.T) {
+	h := NewHandler(New(Options{Workers: 1}))
+	req := httptest.NewRequest(http.MethodGet, "/v1/experiments", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Experiments []listEntry `json:"experiments"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Experiments) != len(experiments.Registry()) {
+		t.Fatalf("listed %d experiments, registry has %d", len(body.Experiments), len(experiments.Registry()))
+	}
+	first := body.Experiments[0]
+	if first.Name != "table12" || first.Description == "" {
+		t.Errorf("first entry = %+v", first)
+	}
+	if first.ScaledParams != first.PaperParams.Scale(defaultScaleSteps) {
+		t.Error("scaled_params is not the default-scaled paper preset")
+	}
+}
+
+func TestHandlerHealthAndMetrics(t *testing.T) {
+	h := NewHandler(New(Options{Workers: 1}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Errorf("/healthz = %d %q", rec.Code, rec.Body)
+	}
+
+	// A request first so the snapshot has serve counters.
+	postExperiment(t, h, "/v1/experiments/table12", tinyBody)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics is not a JSON snapshot: %v", err)
+	}
+	if snap.Counters["serve.requests"] == 0 {
+		t.Error("/metrics snapshot missing serve.requests")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", rec.Code)
+	}
+}

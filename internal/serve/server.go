@@ -1,0 +1,361 @@
+// Package serve turns the experiment registry into a service: a
+// bounded worker pool with an admission queue, request coalescing so N
+// concurrent identical requests share one computation, and a
+// content-addressed result cache (internal/resultcache) so repeated
+// requests are answered from memory without recomputation.
+//
+// The request lifecycle of Server.Do:
+//
+//  1. Resolve the experiment in experiments.Registry and validate the
+//     parameters; derive the content address from the canonical
+//     parameter encoding.
+//  2. Serve from the in-memory cache, then the optional disk store
+//     (promoting disk hits into memory).
+//  3. Coalesce: if an identical computation is already in flight, join
+//     it instead of starting another. Exactly one computation runs per
+//     distinct key at any time.
+//  4. Admit: the computation waits for a worker slot; when the queue
+//     is full the request is rejected immediately with the observed
+//     depth, so callers get backpressure instead of unbounded latency.
+//  5. Compute, cache, and answer every joined waiter with the same
+//     entry.
+//
+// Cancellation is reference-counted: each joined request holds one
+// reference, a request that abandons (client disconnect, timeout)
+// drops its reference, and the underlying computation's context is
+// canceled only when the last reference is gone — one impatient
+// client cannot kill a result that other clients are still waiting
+// for.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sfcacd/internal/experiments"
+	"sfcacd/internal/obs"
+	"sfcacd/internal/resultcache"
+)
+
+// ErrUnknownExperiment reports a request for a name not in the
+// registry.
+var ErrUnknownExperiment = errors.New("serve: unknown experiment")
+
+// ErrInvalidParams wraps a parameter validation failure.
+var ErrInvalidParams = errors.New("serve: invalid parameters")
+
+// OverloadError is returned when the admission queue is full. It
+// carries the depth observed at rejection time so clients can back
+// off proportionally.
+type OverloadError struct {
+	// QueueDepth is the number of computations admitted or waiting at
+	// the time of rejection.
+	QueueDepth int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overloaded, %d computations queued", e.QueueDepth)
+}
+
+// Status classifies how a request was satisfied.
+type Status string
+
+const (
+	// StatusHit means the result came from the cache.
+	StatusHit Status = "hit"
+	// StatusMiss means this request led a fresh computation.
+	StatusMiss Status = "miss"
+	// StatusCoalesced means the request joined a computation another
+	// request had already started.
+	StatusCoalesced Status = "coalesced"
+)
+
+// Response is one answered request.
+type Response struct {
+	// Status records the serving path taken.
+	Status Status
+	// Entry is the content-addressed result.
+	Entry resultcache.Entry
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent computations; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds computations waiting for a worker slot beyond
+	// the Workers running ones; 0 means 64. When the bound is hit new
+	// computations are rejected with an OverloadError (cache hits and
+	// coalesced joins are never rejected).
+	QueueDepth int
+	// CacheBytes bounds the in-memory result cache; 0 means 256 MiB.
+	CacheBytes int64
+	// Disk, when set, persists results and serves misses that an
+	// earlier process already computed.
+	Disk *resultcache.DiskStore
+}
+
+// call is one in-flight computation and the requests waiting on it.
+type call struct {
+	key    resultcache.Key
+	done   chan struct{}
+	entry  resultcache.Entry
+	err    error
+	refs   int // guarded by Server.mu
+	cancel context.CancelFunc
+}
+
+// Server coalesces, admits, computes, and caches experiment requests.
+type Server struct {
+	workers  int
+	maxQueue int
+	cache    *resultcache.Cache
+	disk     *resultcache.DiskStore
+
+	sem    chan struct{} // worker slots
+	queued atomic.Int64  // computations admitted or waiting
+
+	mu       sync.Mutex
+	inflight map[resultcache.Key]*call
+
+	// runFn executes one computation; tests swap it for a controlled
+	// runner to exercise coalescing, backpressure, and cancellation
+	// deterministically.
+	runFn func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error)
+
+	requests, coalesced, computations *obs.Counter
+	rejections, diskHits, diskErrors  *obs.Counter
+	queueGauge, runningGauge          *obs.Gauge
+	latency                           *obs.Histogram
+}
+
+// New returns a Server with the given options.
+func New(opts Options) *Server {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	q := opts.QueueDepth
+	if q <= 0 {
+		q = 64
+	}
+	cb := opts.CacheBytes
+	if cb <= 0 {
+		cb = 256 << 20
+	}
+	return &Server{
+		workers:  w,
+		maxQueue: q,
+		cache:    resultcache.New(cb),
+		disk:     opts.Disk,
+		sem:      make(chan struct{}, w),
+		inflight: make(map[resultcache.Key]*call),
+		runFn: func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
+			return spec.Run(ctx, p)
+		},
+		requests:     obs.GetCounter("serve.requests"),
+		coalesced:    obs.GetCounter("serve.coalesced"),
+		computations: obs.GetCounter("serve.computations"),
+		rejections:   obs.GetCounter("serve.rejections"),
+		diskHits:     obs.GetCounter("serve.disk_hits"),
+		diskErrors:   obs.GetCounter("serve.disk_errors"),
+		queueGauge:   obs.GetGauge("serve.queue_depth"),
+		runningGauge: obs.GetGauge("serve.running"),
+		latency: obs.GetHistogram("serve.latency_ns",
+			obs.ExponentialBuckets(1e3, 10, 8)), // 1µs .. 10s
+	}
+}
+
+// Workers returns the worker-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// QueueDepth returns the admission-queue bound.
+func (s *Server) QueueDepth() int { return s.maxQueue }
+
+// Cache returns the in-memory result cache (exposed for warmup and
+// introspection).
+func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
+// Do answers one experiment request. Identical concurrent requests
+// share one computation; completed results are served from the cache
+// byte-identically to the miss that produced them.
+func (s *Server) Do(ctx context.Context, experiment string, p experiments.Params) (Response, error) {
+	start := time.Now()
+	s.requests.Inc()
+	spec, ok := experiments.Lookup(experiment)
+	if !ok {
+		return Response{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, experiment)
+	}
+	if err := p.Validate(); err != nil {
+		return Response{}, fmt.Errorf("%w: %v", ErrInvalidParams, err)
+	}
+	key := resultcache.KeyFor(experiment, p.CanonicalKey(), experiments.ResultSchemaVersion)
+
+	if entry, ok := s.cache.Get(key); ok {
+		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
+		return Response{Status: StatusHit, Entry: entry}, nil
+	}
+	if s.disk != nil {
+		entry, ok, err := s.disk.Get(key)
+		if err != nil {
+			s.diskErrors.Inc() // corrupt entry: recompute below
+		} else if ok {
+			s.diskHits.Inc()
+			s.cache.Put(entry)
+			s.latency.Observe(float64(time.Since(start).Nanoseconds()))
+			return Response{Status: StatusHit, Entry: entry}, nil
+		}
+	}
+
+	s.mu.Lock()
+	if c, ok := s.inflight[key]; ok {
+		c.refs++
+		s.mu.Unlock()
+		s.coalesced.Inc()
+		return s.wait(ctx, c, StatusCoalesced, start)
+	}
+	// Recheck the cache before leading a fresh computation: one may
+	// have completed between the miss above and taking the lock. Put
+	// runs before the call is unpublished (both under mu in finish),
+	// so a finished computation is either still joinable above or
+	// already visible here — identical concurrent requests can never
+	// compute twice.
+	if entry, ok := s.cache.Get(key); ok {
+		s.mu.Unlock()
+		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
+		return Response{Status: StatusHit, Entry: entry}, nil
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	c := &call{key: key, done: make(chan struct{}), refs: 1, cancel: cancel}
+	s.inflight[key] = c
+	s.mu.Unlock()
+	go s.compute(cctx, c, spec, p)
+	return s.wait(ctx, c, StatusMiss, start)
+}
+
+// wait blocks until the call completes or the request's own context
+// ends, dropping the request's reference in the latter case.
+func (s *Server) wait(ctx context.Context, c *call, status Status, start time.Time) (Response, error) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return Response{}, c.err
+		}
+		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
+		return Response{Status: status, Entry: c.entry}, nil
+	case <-ctx.Done():
+		s.abandon(c)
+		return Response{}, ctx.Err()
+	}
+}
+
+// abandon drops one reference; the last reference cancels the
+// computation and unpublishes the call so later requests start fresh.
+func (s *Server) abandon(c *call) {
+	s.mu.Lock()
+	c.refs--
+	last := c.refs == 0
+	if last && s.inflight[c.key] == c {
+		delete(s.inflight, c.key)
+	}
+	s.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// compute runs one admitted computation and broadcasts its outcome.
+func (s *Server) compute(ctx context.Context, c *call, spec experiments.Spec, p experiments.Params) {
+	defer c.cancel()
+	depth := s.queued.Add(1)
+	s.queueGauge.SetMax(float64(depth))
+	if depth > int64(s.workers+s.maxQueue) {
+		s.queued.Add(-1)
+		s.rejections.Inc()
+		s.finish(c, resultcache.Entry{}, &OverloadError{QueueDepth: int(depth - 1)})
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.finish(c, resultcache.Entry{}, ctx.Err())
+		return
+	}
+	s.runningGauge.Add(1)
+	defer func() {
+		<-s.sem
+		s.queued.Add(-1)
+		s.runningGauge.Add(-1)
+	}()
+
+	s.computations.Inc()
+	before := obs.Default().Snapshot()
+	start := time.Now()
+	out, err := s.runFn(ctx, spec, p)
+	wall := time.Since(start)
+	if err != nil {
+		s.finish(c, resultcache.Entry{}, err)
+		return
+	}
+	entry, err := BuildEntry(c.key, spec.Name, out, wall, obs.Default().Snapshot().Sub(before))
+	if err != nil {
+		s.finish(c, resultcache.Entry{}, err)
+		return
+	}
+	s.cache.Put(entry)
+	if s.disk != nil {
+		if err := s.disk.Put(entry); err != nil {
+			s.diskErrors.Inc()
+		}
+	}
+	s.finish(c, entry, nil)
+}
+
+// finish publishes the call's outcome and wakes every waiter.
+func (s *Server) finish(c *call, entry resultcache.Entry, err error) {
+	s.mu.Lock()
+	if s.inflight[c.key] == c {
+		delete(s.inflight, c.key)
+	}
+	s.mu.Unlock()
+	c.entry, c.err = entry, err
+	close(c.done)
+}
+
+// BuildEntry marshals a computation's output and its run manifest into
+// a cacheable entry. The manifest records the effective parameters,
+// wall time, and the metric deltas the computation produced (best
+// effort: under concurrent computations the deltas include the
+// neighbors' work too, since the obs registry is process-wide).
+// acdbench -cache uses it to warm the same store the daemon serves.
+func BuildEntry(key resultcache.Key, name string, out *experiments.Output, wall time.Duration, delta obs.Snapshot) (resultcache.Entry, error) {
+	paramsJSON, err := json.Marshal(out.Params)
+	if err != nil {
+		return resultcache.Entry{}, fmt.Errorf("serve: marshaling params: %w", err)
+	}
+	resultJSON, err := json.Marshal(out.Result)
+	if err != nil {
+		return resultcache.Entry{}, fmt.Errorf("serve: marshaling result: %w", err)
+	}
+	m := obs.NewManifest("serve")
+	m.AddExperiment(name, out.Params, wall, nil)
+	m.ObserveMemStats()
+	m.Metrics = delta
+	manifestJSON, err := json.Marshal(m)
+	if err != nil {
+		return resultcache.Entry{}, fmt.Errorf("serve: marshaling manifest: %w", err)
+	}
+	return resultcache.Entry{
+		Key:        key,
+		Experiment: name,
+		Params:     paramsJSON,
+		Result:     resultJSON,
+		Manifest:   manifestJSON,
+	}, nil
+}
