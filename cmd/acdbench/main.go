@@ -112,6 +112,7 @@ func run() int {
 		seed      = flag.Uint64("seed", 0, "override random seed")
 		workers   = flag.Int("workers", 0, "cap accumulation/matrix-build worker goroutines (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache", "", "read/write results in this content-addressed cache directory (shared with acdserverd -cachedir)")
+		cacheVer  = flag.Bool("cache-verify", false, "verify every entry in the -cache store (quarantining bad ones) and exit")
 		csvDirF   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
 		report    = flag.String("report", "", "write a JSON run manifest to this file")
 		determin  = flag.Bool("deterministic", false, "strip host- and time-dependent fields from the manifest")
@@ -181,6 +182,13 @@ func run() int {
 			logger.Error("cache", "err", err)
 			return 1
 		}
+	}
+	if *cacheVer {
+		if store == nil {
+			fmt.Fprintln(os.Stderr, "acdbench: -cache-verify requires -cache DIR")
+			return 2
+		}
+		return verifyCache(store)
 	}
 
 	// Ctrl-C cancels the in-flight experiment cleanly through the
@@ -283,6 +291,25 @@ func run() int {
 			return 1
 		}
 		logger.Info("wrote heap profile", "path", *memProf)
+	}
+	return 0
+}
+
+// verifyCache walks the disk store, reporting (and quarantining) bad
+// entries. Exit status 0 means every entry decoded and key-verified.
+func verifyCache(store *resultcache.DiskStore) int {
+	rep, err := store.Verify()
+	if err != nil {
+		logger.Error("cache-verify", "err", err)
+		return 1
+	}
+	fmt.Printf("cache %s: %d entries ok, %d bad (quarantined), %d orphaned temp files swept\n",
+		store.Dir(), rep.Entries, rep.Bad, rep.TmpSwept)
+	for _, path := range rep.BadPaths {
+		fmt.Printf("  quarantined %s\n", path)
+	}
+	if rep.Bad > 0 {
+		return 1
 	}
 	return 0
 }

@@ -24,7 +24,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"log/slog"
 	"net/http"
@@ -33,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"sfcacd/internal/faultinject"
 	"sfcacd/internal/resultcache"
 	"sfcacd/internal/serve"
 )
@@ -48,7 +48,12 @@ func run() int {
 		queueDepth = flag.Int("queue", 0, "admission queue bound beyond the worker pool (0 = 64)")
 		cacheBytes = flag.Int64("cache-bytes", 0, "in-memory result cache budget in bytes (0 = 256 MiB)")
 		cacheDir   = flag.String("cachedir", "", "also persist results in this content-addressed directory")
-		verbose    = flag.Bool("v", false, "enable debug-level logging")
+		computeTO  = flag.Duration("compute-timeout", serve.DefaultComputeTimeout,
+			"per-request compute deadline before a 504 (negative disables)")
+		faults = flag.String("faults", "",
+			"fault-injection spec, comma-separated site=prob[:delay] (e.g. resultcache.disk.get=0.1,serve.compute=1:250ms)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
+		verbose   = flag.Bool("v", false, "enable debug-level logging")
 	)
 	flag.Parse()
 
@@ -58,10 +63,21 @@ func run() int {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	injector, err := faultinject.Parse(*faults, *faultSeed)
+	if err != nil {
+		logger.Error("faults", "err", err)
+		return 1
+	}
+	if injector != nil {
+		logger.Warn("fault injection armed", "spec", *faults, "seed", *faultSeed)
+	}
+
 	opts := serve.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheBytes: *cacheBytes,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheBytes:     *cacheBytes,
+		ComputeTimeout: *computeTO,
+		Faults:         injector,
 	}
 	if *cacheDir != "" {
 		disk, err := resultcache.OpenDisk(*cacheDir)
@@ -69,6 +85,7 @@ func run() int {
 			logger.Error("cachedir", "err", err)
 			return 1
 		}
+		disk.SetFaults(injector)
 		opts.Disk = disk
 		logger.Info("persistent result store open", "dir", disk.Dir())
 	}
@@ -86,7 +103,8 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- httpServer.ListenAndServe() }()
 	logger.Info("acdserverd listening", "addr", *addr,
-		"workers", server.Workers(), "queue", server.QueueDepth())
+		"workers", server.Workers(), "queue", server.QueueDepth(),
+		"compute_timeout", *computeTO)
 
 	select {
 	case err := <-errc:
@@ -95,13 +113,23 @@ func run() int {
 	case <-ctx.Done():
 	}
 
+	// Shutdown stops accepting and waits for in-flight requests;
+	// Drain then waits for detached computations (whose waiters may
+	// already be gone) to finish their cache writes. A timeout in
+	// either is an unclean stop and must exit nonzero so orchestrators
+	// notice, instead of reporting a drained shutdown that wasn't.
 	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := httpServer.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Error("shutdown", "err", err)
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown timed out with requests in flight", "err", err)
 		return 1
 	}
+	if err := server.Drain(shutdownCtx); err != nil {
+		logger.Error("shutdown timed out with computations running", "err", err)
+		return 1
+	}
+	logger.Info("drained cleanly")
 	return 0
 }
 
@@ -117,7 +145,11 @@ func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	})
 }
 
-// statusRecorder captures the response status for logging.
+// statusRecorder captures the response status for logging. Embedding
+// only the interface would hide the underlying writer's optional
+// interfaces, so Flush is forwarded explicitly (streaming and pprof
+// responses assert http.Flusher) and Unwrap exposes the wrapped writer
+// to http.ResponseController for everything else.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -127,3 +159,11 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
 	r.ResponseWriter.WriteHeader(status)
 }
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }

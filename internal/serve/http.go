@@ -32,6 +32,9 @@ type Envelope struct {
 type errorBody struct {
 	Error      string `json:"error"`
 	QueueDepth int    `json:"queue_depth,omitempty"`
+	// Timeout is the per-request compute deadline that a 504 ran into,
+	// as a Go duration string.
+	Timeout string `json:"timeout,omitempty"`
 }
 
 // listEntry is one experiment in the GET /v1/experiments listing.
@@ -119,6 +122,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // writeDoError maps Server.Do errors onto HTTP statuses.
 func writeDoError(w http.ResponseWriter, r *http.Request, err error) {
 	var overload *OverloadError
+	var deadline *DeadlineError
 	switch {
 	case errors.Is(err, ErrUnknownExperiment):
 		writeError(w, http.StatusNotFound, err.Error(), 0)
@@ -127,6 +131,10 @@ func writeDoError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.As(err, &overload):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err.Error(), overload.QueueDepth)
+	case errors.As(err, &deadline):
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGatewayTimeout)
+		json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Timeout: deadline.Timeout.String()})
 	case r.Context().Err() != nil:
 		// The client is gone; nothing useful can be written. 499 is
 		// the de-facto "client closed request" status.

@@ -39,9 +39,21 @@ import (
 	"time"
 
 	"sfcacd/internal/experiments"
+	"sfcacd/internal/faultinject"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/resultcache"
 )
+
+// SiteCompute is the fault-injection point wrapping every experiment
+// computation; injected latency there simulates a slow or wedged
+// runner, injected errors a failing one.
+const SiteCompute = "serve.compute"
+
+// DefaultComputeTimeout bounds how long one request waits for its
+// computation when Options.ComputeTimeout is zero. Paper-preset runs
+// finish well inside it; a wedged computation turns into a 504 instead
+// of an indefinitely held client connection.
+const DefaultComputeTimeout = 5 * time.Minute
 
 // ErrUnknownExperiment reports a request for a name not in the
 // registry.
@@ -61,6 +73,20 @@ type OverloadError struct {
 
 func (e *OverloadError) Error() string {
 	return fmt.Sprintf("serve: overloaded, %d computations queued", e.QueueDepth)
+}
+
+// DeadlineError is returned when a request's server-applied compute
+// deadline passes before its computation finishes. Only the timed-out
+// request is affected: its reference on the shared computation is
+// dropped, and other coalesced waiters keep waiting. The HTTP layer
+// maps it to 504 Gateway Timeout.
+type DeadlineError struct {
+	// Timeout is the per-request compute deadline that passed.
+	Timeout time.Duration
+}
+
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("serve: computation exceeded the %v request deadline", e.Timeout)
 }
 
 // Status classifies how a request was satisfied.
@@ -98,6 +124,13 @@ type Options struct {
 	// Disk, when set, persists results and serves misses that an
 	// earlier process already computed.
 	Disk *resultcache.DiskStore
+	// ComputeTimeout bounds how long one request waits for its
+	// computation before failing with a DeadlineError; 0 means
+	// DefaultComputeTimeout, negative disables the deadline.
+	ComputeTimeout time.Duration
+	// Faults, when set, arms the SiteCompute injection point (the disk
+	// store carries its own injector; see resultcache.SetFaults).
+	Faults *faultinject.Injector
 }
 
 // call is one in-flight computation and the requests waiting on it.
@@ -112,13 +145,16 @@ type call struct {
 
 // Server coalesces, admits, computes, and caches experiment requests.
 type Server struct {
-	workers  int
-	maxQueue int
-	cache    *resultcache.Cache
-	disk     *resultcache.DiskStore
+	workers        int
+	maxQueue       int
+	cache          *resultcache.Cache
+	disk           *resultcache.DiskStore
+	computeTimeout time.Duration // <= 0 means no per-request deadline
+	faults         *faultinject.Injector
 
-	sem    chan struct{} // worker slots
-	queued atomic.Int64  // computations admitted or waiting
+	sem       chan struct{}  // worker slots
+	queued    atomic.Int64   // computations admitted or waiting
+	computing sync.WaitGroup // live compute goroutines; Drain waits on it
 
 	mu       sync.Mutex
 	inflight map[resultcache.Key]*call
@@ -130,6 +166,7 @@ type Server struct {
 
 	requests, coalesced, computations *obs.Counter
 	rejections, diskHits, diskErrors  *obs.Counter
+	deadlines                         *obs.Counter
 	queueGauge, runningGauge          *obs.Gauge
 	latency                           *obs.Histogram
 }
@@ -148,13 +185,19 @@ func New(opts Options) *Server {
 	if cb <= 0 {
 		cb = 256 << 20
 	}
+	ct := opts.ComputeTimeout
+	if ct == 0 {
+		ct = DefaultComputeTimeout
+	}
 	return &Server{
-		workers:  w,
-		maxQueue: q,
-		cache:    resultcache.New(cb),
-		disk:     opts.Disk,
-		sem:      make(chan struct{}, w),
-		inflight: make(map[resultcache.Key]*call),
+		workers:        w,
+		maxQueue:       q,
+		cache:          resultcache.New(cb),
+		disk:           opts.Disk,
+		computeTimeout: ct,
+		faults:         opts.Faults,
+		sem:            make(chan struct{}, w),
+		inflight:       make(map[resultcache.Key]*call),
 		runFn: func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
 			return spec.Run(ctx, p)
 		},
@@ -164,6 +207,7 @@ func New(opts Options) *Server {
 		rejections:   obs.GetCounter("serve.rejections"),
 		diskHits:     obs.GetCounter("serve.disk_hits"),
 		diskErrors:   obs.GetCounter("serve.disk_errors"),
+		deadlines:    obs.GetCounter("serve.deadline_exceeded"),
 		queueGauge:   obs.GetGauge("serve.queue_depth"),
 		runningGauge: obs.GetGauge("serve.running"),
 		latency: obs.GetHistogram("serve.latency_ns",
@@ -187,6 +231,16 @@ func (s *Server) Cache() *resultcache.Cache { return s.cache }
 func (s *Server) Do(ctx context.Context, experiment string, p experiments.Params) (Response, error) {
 	start := time.Now()
 	s.requests.Inc()
+	if s.computeTimeout > 0 {
+		// The per-request deadline. WithTimeoutCause makes the
+		// server-applied deadline distinguishable from the client's own
+		// context ending: wait returns the DeadlineError cause, which
+		// the HTTP layer maps to 504 rather than 499.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.computeTimeout,
+			&DeadlineError{Timeout: s.computeTimeout})
+		defer cancel()
+	}
 	spec, ok := experiments.Lookup(experiment)
 	if !ok {
 		return Response{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, experiment)
@@ -234,12 +288,18 @@ func (s *Server) Do(ctx context.Context, experiment string, p experiments.Params
 	c := &call{key: key, done: make(chan struct{}), refs: 1, cancel: cancel}
 	s.inflight[key] = c
 	s.mu.Unlock()
-	go s.compute(cctx, c, spec, p)
+	s.computing.Add(1)
+	go func() {
+		defer s.computing.Done()
+		s.compute(cctx, c, spec, p)
+	}()
 	return s.wait(ctx, c, StatusMiss, start)
 }
 
 // wait blocks until the call completes or the request's own context
-// ends, dropping the request's reference in the latter case.
+// ends, dropping the request's reference in the latter case. A
+// server-applied compute deadline surfaces as its DeadlineError cause;
+// other waiters of the same call are unaffected either way.
 func (s *Server) wait(ctx context.Context, c *call, status Status, start time.Time) (Response, error) {
 	select {
 	case <-c.done:
@@ -250,7 +310,31 @@ func (s *Server) wait(ctx context.Context, c *call, status Status, start time.Ti
 		return Response{Status: status, Entry: c.entry}, nil
 	case <-ctx.Done():
 		s.abandon(c)
+		var de *DeadlineError
+		if cause := context.Cause(ctx); errors.As(cause, &de) {
+			s.deadlines.Inc()
+			return Response{}, cause
+		}
 		return Response{}, ctx.Err()
+	}
+}
+
+// Drain blocks until every in-flight compute goroutine has finished
+// (or ctx ends first). acdserverd calls it after http.Server.Shutdown
+// so detached computations — still running for waiters that already
+// got their answer or abandoned — finish their cache writes before the
+// process exits.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.computing.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -295,6 +379,10 @@ func (s *Server) compute(ctx context.Context, c *call, spec experiments.Spec, p 
 	}()
 
 	s.computations.Inc()
+	if err := s.faults.CheckCtx(ctx, SiteCompute); err != nil {
+		s.finish(c, resultcache.Entry{}, err)
+		return
+	}
 	before := obs.Default().Snapshot()
 	start := time.Now()
 	out, err := s.runFn(ctx, spec, p)
