@@ -77,7 +77,7 @@ func BenchmarkFig3ParticleOrdering(b *testing.B) {
 // across resolutions for all four curves.
 func BenchmarkFig5aANNS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig5(context.Background(), 1, 6, 1); err != nil {
+		if _, err := experiments.RunFig5(context.Background(), 1, 6, 1, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +87,7 @@ func BenchmarkFig5aANNS(b *testing.B) {
 // generalized stretch at radius 6.
 func BenchmarkFig5bANNSLargeRadius(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFig5(context.Background(), 1, 6, 6); err != nil {
+		if _, err := experiments.RunFig5(context.Background(), 1, 6, 6, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -161,7 +161,7 @@ func BenchmarkRadiusSweep(b *testing.B) {
 // BenchmarkPrimitives regenerates the §VII primitive table.
 func BenchmarkPrimitives(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.RunPrimitives(4)
+		experiments.RunPrimitives(4, 0)
 	}
 }
 
@@ -243,7 +243,7 @@ func BenchmarkThreeDValidation(b *testing.B) {
 	p.Order = 5
 	p.ANNSOrder = 3
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunThreeD(context.Background(), p); err != nil {
+		if _, err := experiments.RunThreeD(context.Background(), p, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -110,7 +110,7 @@ func run() int {
 		radius    = flag.Int("radius", 0, "override near-field radius")
 		trials    = flag.Int("trials", 0, "override trial count")
 		seed      = flag.Uint64("seed", 0, "override random seed")
-		workers   = flag.Int("workers", 0, "cap accumulation/matrix-build worker goroutines (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", 0, "cap sweep-cell and inner accumulation worker goroutines (0 = GOMAXPROCS)")
 		cacheDir  = flag.String("cache", "", "read/write results in this content-addressed cache directory (shared with acdserverd -cachedir)")
 		cacheVer  = flag.Bool("cache-verify", false, "verify every entry in the -cache store (quarantining bad ones) and exit")
 		csvDirF   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")

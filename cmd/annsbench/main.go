@@ -28,10 +28,11 @@ func main() {
 		maxOrder = flag.Uint("maxorder", 9, "largest resolution order (512x512 = 9)")
 		radius   = flag.Int("r", 1, "neighborhood radius (1 = classic ANNS)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	res, err := experiments.RunFig5(context.Background(), *minOrder, *maxOrder, *radius)
+	res, err := experiments.RunFig5(context.Background(), *minOrder, *maxOrder, *radius, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "annsbench:", err)
 		os.Exit(1)

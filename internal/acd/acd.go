@@ -13,6 +13,7 @@ package acd
 
 import (
 	"fmt"
+	"sync"
 
 	"sfcacd/internal/geom"
 	"sfcacd/internal/obs"
@@ -128,6 +129,47 @@ type Assignment struct {
 // uses a dense array (4096x4096 = 64 MiB of int32).
 const denseLimit = 1 << 24
 
+// denseRankPool recycles dense rank tables between assignments.
+// Parallel sweep cells each build a full 4^order table; without
+// pooling, the allocator (and the -1 refill) dominates small-trial
+// sweeps. Tables are returned by Assignment.Release.
+var denseRankPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// newDenseRank returns a cells-long table filled with -1, reusing a
+// pooled allocation when one fits.
+func newDenseRank(cells uint64) []int32 {
+	p := denseRankPool.Get().(*[]int32)
+	t := *p
+	*p = nil
+	denseRankPool.Put(p)
+	if uint64(cap(t)) < cells {
+		t = make([]int32, cells)
+	}
+	t = t[:cells]
+	// Doubling copy fills with -1 in O(n) copies of geometric size.
+	t[0] = -1
+	for i := 1; i < len(t); i *= 2 {
+		copy(t[i:], t[:i])
+	}
+	return t
+}
+
+// Release returns the assignment's pooled scratch (the dense rank
+// table) for reuse. The assignment must not be used afterwards: RankAt
+// reports every cell empty. Only call it from owners that know the
+// assignment is dead — the sweep scheduler's cells do; ordinary
+// callers can rely on the garbage collector instead.
+func (a *Assignment) Release() {
+	if a == nil || a.denseRank == nil {
+		return
+	}
+	t := a.denseRank
+	a.denseRank = nil
+	p := denseRankPool.Get().(*[]int32)
+	*p = t
+	denseRankPool.Put(p)
+}
+
 // Assign orders the given particles along the particle-order curve,
 // partitions them into p balanced consecutive chunks, and assigns
 // chunk i to processor rank i. Duplicate cells are not allowed (the
@@ -142,7 +184,7 @@ func Assign(particles []geom.Point, curve sfc.Curve, order uint, p int) (*Assign
 	assignCounter.Inc()
 	defer obs.StartTimer(assignTime)()
 	ordering := obs.StartSpan("ordering")
-	perm := sfc.SortPoints(curve, order, particles)
+	perm, keys := sfc.SortPointsKeys(curve, order, particles)
 	ordering.End()
 	partitioning := obs.StartSpan("partitioning")
 	defer partitioning.End()
@@ -155,17 +197,14 @@ func Assign(particles []geom.Point, curve sfc.Curve, order uint, p int) (*Assign
 	}
 	n := len(particles)
 	if geom.Cells(order) <= denseLimit {
-		a.denseRank = make([]int32, geom.Cells(order))
-		for i := range a.denseRank {
-			a.denseRank[i] = -1
-		}
+		a.denseRank = newDenseRank(geom.Cells(order))
 	} else {
 		a.sparseRank = make(map[uint64]int32, n)
 	}
 	prevIdx := uint64(0)
 	for i, src := range perm {
 		pt := particles[src]
-		idx := curve.Index(order, pt)
+		idx := keys[src] // curve.Index(order, pt), computed by the sort
 		if i > 0 && idx == prevIdx {
 			return nil, fmt.Errorf("acd: duplicate particle cell %v", pt)
 		}
@@ -210,10 +249,7 @@ func FromOwners(particles []geom.Point, ranks []int32, order uint, p int) (*Assi
 		side:      geom.Side(order),
 	}
 	if geom.Cells(order) <= denseLimit {
-		a.denseRank = make([]int32, geom.Cells(order))
-		for i := range a.denseRank {
-			a.denseRank[i] = -1
-		}
+		a.denseRank = newDenseRank(geom.Cells(order))
 	} else {
 		a.sparseRank = make(map[uint64]int32, len(particles))
 	}

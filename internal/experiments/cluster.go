@@ -40,8 +40,10 @@ func (r ClusterResult) SeriesTable() *tablefmt.SeriesTable {
 }
 
 // RunClustering estimates the clustering metric for each curve over
-// random square queries at the given resolution order.
-func RunClustering(ctx context.Context, order uint, querySides []uint32, trials int, seed uint64) (ClusterResult, error) {
+// random square queries at the given resolution order, one sweep cell
+// per curve x query-side pair (each cell owns its own rng stream).
+// workers caps the sweep pool; 0 means GOMAXPROCS.
+func RunClustering(ctx context.Context, order uint, querySides []uint32, trials int, seed uint64, workers int) (ClusterResult, error) {
 	if len(querySides) == 0 || trials < 1 || order < 1 || order > 12 {
 		return ClusterResult{}, fmt.Errorf("experiments: bad clustering parameters")
 	}
@@ -51,14 +53,17 @@ func RunClustering(ctx context.Context, order uint, querySides []uint32, trials 
 		Curves:     curveNames(curves),
 		Avg:        zeroRect(len(curves), len(querySides)),
 	}
-	for c, curve := range curves {
-		for q, qs := range querySides {
-			if err := ctx.Err(); err != nil {
-				return ClusterResult{}, err
-			}
-			r := rng.New(seed + uint64(q)*1000 + uint64(c))
-			res.Avg[c][q] = clustering.AverageClusters(curve, order, qs, trials, r)
-		}
+	nq := len(querySides)
+	cells := len(curves) * nq
+	err := runCells(ctx, sweepPool(workers, cells), cells, func(cell int) error {
+		c := cell / nq
+		q := cell % nq
+		r := rng.New(seed + uint64(q)*1000 + uint64(c))
+		res.Avg[c][q] = clustering.AverageClusters(curves[c], order, querySides[q], trials, r)
+		return nil
+	})
+	if err != nil {
+		return ClusterResult{}, err
 	}
 	return res, nil
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRunClustering(t *testing.T) {
-	res, err := RunClustering(context.Background(), 7, []uint32{4, 8}, 500, 1)
+	res, err := RunClustering(context.Background(), 7, []uint32{4, 8}, 500, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestRunClustering(t *testing.T) {
 		}
 	}
 	// Deterministic.
-	res2, err := RunClustering(context.Background(), 7, []uint32{4, 8}, 500, 1)
+	res2, err := RunClustering(context.Background(), 7, []uint32{4, 8}, 500, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,10 +55,10 @@ func TestRunClustering(t *testing.T) {
 	if !strings.Contains(b.String(), "Clustering metric") {
 		t.Error("title missing")
 	}
-	if _, err := RunClustering(context.Background(), 7, nil, 10, 1); err == nil {
+	if _, err := RunClustering(context.Background(), 7, nil, 10, 1, 0); err == nil {
 		t.Error("empty query sides accepted")
 	}
-	if _, err := RunClustering(context.Background(), 0, []uint32{2}, 10, 1); err == nil {
+	if _, err := RunClustering(context.Background(), 0, []uint32{2}, 10, 1, 0); err == nil {
 		t.Error("order 0 accepted")
 	}
 }
@@ -68,11 +68,11 @@ func TestRunClustering(t *testing.T) {
 // Z-curve — no single proximity metric tells the whole story, which is
 // what motivates the application-aware ACD.
 func TestMetricsDisagree(t *testing.T) {
-	cluster, err := RunClustering(context.Background(), 7, []uint32{8}, 2000, 3)
+	cluster, err := RunClustering(context.Background(), 7, []uint32{8}, 2000, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	annsRes, err := RunFig5(context.Background(), 7, 7, 1)
+	annsRes, err := RunFig5(context.Background(), 7, 7, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

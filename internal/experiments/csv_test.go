@@ -29,7 +29,7 @@ func TestTable12CSV(t *testing.T) {
 }
 
 func TestFig5CSV(t *testing.T) {
-	res, err := RunFig5(context.Background(), 1, 3, 1)
+	res, err := RunFig5(context.Background(), 1, 3, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestRemainingCSVEmitters(t *testing.T) {
 	}
 
 	b.Reset()
-	cl, err := RunClustering(context.Background(), 6, []uint32{2, 4}, 100, 1)
+	cl, err := RunClustering(context.Background(), 6, []uint32{2, 4}, 100, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestRemainingCSVEmitters(t *testing.T) {
 	td.Particles = 500
 	td.Order = 4
 	td.ANNSOrder = 2
-	t3, err := RunThreeD(context.Background(), td)
+	t3, err := RunThreeD(context.Background(), td, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -99,43 +99,55 @@ func RunDynamic(ctx context.Context, p Params, steps int) (DynamicResult, error)
 		return DynamicResult{}, err
 	}
 	driftRand := rng.New(p.Seed ^ 0xD1F7)
-	// Remember each particle's initial owner per curve.
-	initialRanks := make([][]int32, len(curves))
-	// The particle identity is its index in pts; Assign reorders, so
-	// map initial ranks back to input order through the curve sort.
-	for c, curve := range curves {
-		perm := sfc.SortPoints(curve, p.Order, pts)
+	nc := len(curves)
+	pool := sweepPool(p.Workers, nc)
+	inner := innerWorkers(p.Workers, pool)
+	// Remember each particle's initial owner per curve, one sweep cell
+	// per curve. The particle identity is its index in pts; Assign
+	// reorders, so map initial ranks back to input order through the
+	// curve sort.
+	initialRanks := make([][]int32, nc)
+	if err := runCells(ctx, pool, nc, func(c int) error {
+		perm := sfc.SortPoints(curves[c], p.Order, pts)
 		ranks := make([]int32, len(pts))
 		for sorted, orig := range perm {
 			ranks[orig] = int32(partition.ChunkOf(sorted, len(pts), p.P()))
 		}
 		initialRanks[c] = ranks
+		return nil
+	}); err != nil {
+		return DynamicResult{}, err
 	}
+	// Steps are inherently sequential (each drifts the previous step's
+	// positions), but within a step the curves are independent cells
+	// reading the same frozen positions.
 	for step := 0; step <= steps; step++ {
 		if step > 0 {
 			drift(pts, p.Order, driftRand)
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return DynamicResult{}, err
-			}
+		if err := runCells(ctx, pool, nc, func(c int) error {
+			curve := curves[c]
 			torus := topology.NewTorus(p.ProcOrder, curve)
+			opts := fmmmodel.NFIOptions{
+				Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+			}
 			// Static policy: initial owners, current positions.
 			static, err := acd.FromOwners(pts, initialRanks[c], p.Order, p.P())
 			if err != nil {
-				return DynamicResult{}, err
+				return err
 			}
-			res.Static[c][step] = fmmmodel.NFI(static, torus, fmmmodel.NFIOptions{
-				Radius: p.Radius, Metric: geom.MetricChebyshev,
-			}).ACD()
+			res.Static[c][step] = fmmmodel.NFI(static, torus, opts).ACD()
+			static.Release()
 			// Reorder policy: fresh assignment from current positions.
 			fresh, err := acd.Assign(pts, curve, p.Order, p.P())
 			if err != nil {
-				return DynamicResult{}, err
+				return err
 			}
-			res.Reorder[c][step] = fmmmodel.NFI(fresh, torus, fmmmodel.NFIOptions{
-				Radius: p.Radius, Metric: geom.MetricChebyshev,
-			}).ACD()
+			res.Reorder[c][step] = fmmmodel.NFI(fresh, torus, opts).ACD()
+			fresh.Release()
+			return nil
+		}); err != nil {
+			return DynamicResult{}, err
 		}
 	}
 	return res, nil

@@ -55,37 +55,54 @@ func RunExecModel(ctx context.Context, p Params) (ExecModelResult, error) {
 		Makespan: make([]float64, n),
 		MaxSends: make([]float64, n),
 	}
-	for trial := 0; trial < p.Trials; trial++ {
-		pts, err := samplePoints(dist.Uniform, p, trial)
+	type cellOut struct {
+		acd, makespan, maxSends float64
+	}
+	groups := make([]shared[[]geom.Point], p.Trials)
+	outs := make([]cellOut, p.Trials*n)
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % n
+		trial := cell / n
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, p, trial)
+		})
 		if err != nil {
-			return ExecModelResult{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return ExecModelResult{}, err
-			}
-			a, err := acd.Assign(pts, curve, p.Order, p.P())
-			if err != nil {
-				return ExecModelResult{}, err
-			}
-			topo := topology.NewTorus(p.ProcOrder, curve)
-			opts := fmmmodel.NFIOptions{Radius: p.Radius, Metric: geom.MetricChebyshev}
-			tally := execmodel.CollectNFI(a, topo, opts)
-			ms, err := tally.Makespan(execmodel.DefaultCost)
-			if err != nil {
-				return ExecModelResult{}, err
-			}
-			var maxSends uint64
-			for _, s := range tally.Sends {
-				if s > maxSends {
-					maxSends = s
-				}
-			}
-			f := 1 / float64(p.Trials)
-			res.ACD[c] += fmmmodel.NFI(a, topo, opts).ACD() * f
-			res.Makespan[c] += ms * f
-			res.MaxSends[c] += float64(maxSends) * f
+		curve := curves[c]
+		a, err := acd.Assign(pts, curve, p.Order, p.P())
+		if err != nil {
+			return err
 		}
+		topo := topology.NewTorus(p.ProcOrder, curve)
+		opts := fmmmodel.NFIOptions{Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner}
+		tally := execmodel.CollectNFI(a, topo, opts)
+		ms, err := tally.Makespan(execmodel.DefaultCost)
+		if err != nil {
+			return err
+		}
+		var maxSends uint64
+		for _, s := range tally.Sends {
+			if s > maxSends {
+				maxSends = s
+			}
+		}
+		o := cellOut{acd: fmmmodel.NFI(a, topo, opts).ACD(), makespan: ms, maxSends: float64(maxSends)}
+		a.Release()
+		outs[cell] = o
+		return nil
+	})
+	if err != nil {
+		return ExecModelResult{}, err
+	}
+	f := 1 / float64(p.Trials)
+	for cell, o := range outs {
+		c := cell % n
+		res.ACD[c] += o.acd * f
+		res.Makespan[c] += o.makespan * f
+		res.MaxSends[c] += o.maxSends * f
 	}
 	return res, nil
 }

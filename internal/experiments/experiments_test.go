@@ -185,7 +185,7 @@ func TestTable12Matrices(t *testing.T) {
 }
 
 func TestRunFig5MatchesANNSPackage(t *testing.T) {
-	res, err := RunFig5(context.Background(), 1, 5, 1)
+	res, err := RunFig5(context.Background(), 1, 5, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,16 +208,16 @@ func TestRunFig5MatchesANNSPackage(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunFig5(context.Background(), 3, 2, 1); err == nil {
+	if _, err := RunFig5(context.Background(), 3, 2, 1, 0); err == nil {
 		t.Error("bad order range accepted")
 	}
-	if _, err := RunFig5(context.Background(), 1, 3, 0); err == nil {
+	if _, err := RunFig5(context.Background(), 1, 3, 0, 0); err == nil {
 		t.Error("bad radius accepted")
 	}
 }
 
 func TestRunFig5SeriesTable(t *testing.T) {
-	res, err := RunFig5(context.Background(), 1, 4, 6)
+	res, err := RunFig5(context.Background(), 1, 4, 6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func TestRunMeshTorusWrapLinkUtility(t *testing.T) {
 }
 
 func TestRunPrimitives(t *testing.T) {
-	res := RunPrimitives(3)
+	res := RunPrimitives(3, 0)
 	if len(res.Patterns) != 5 || len(res.Curves) != 4 {
 		t.Fatalf("bad shape")
 	}
@@ -438,7 +438,7 @@ func TestRunPrimitives(t *testing.T) {
 			res.Mesh[ringRow][hilbert], res.Mesh[ringRow][rowmajor])
 	}
 	// Deterministic.
-	res2 := RunPrimitives(3)
+	res2 := RunPrimitives(3, 0)
 	for i := range res.Mesh {
 		for j := range res.Mesh[i] {
 			if res.Mesh[i][j] != res2.Mesh[i][j] || res.Torus[i][j] != res2.Torus[i][j] {

@@ -44,9 +44,10 @@ func (r PrimitivesResult) Matrices() (mesh, torus *tablefmt.Matrix) {
 }
 
 // RunPrimitives evaluates every §VII primitive under every
-// processor-order curve at p = 4^ProcOrder. Deterministic: no
-// sampling is involved.
-func RunPrimitives(procOrder uint) PrimitivesResult {
+// processor-order curve at p = 4^ProcOrder, one sweep cell per curve.
+// Deterministic: no sampling is involved. workers caps the sweep pool
+// (0 means GOMAXPROCS).
+func RunPrimitives(procOrder uint, workers int) PrimitivesResult {
 	curves := sfc.All()
 	pats := primitives.Patterns()
 	res := PrimitivesResult{
@@ -57,7 +58,10 @@ func RunPrimitives(procOrder uint) PrimitivesResult {
 	for _, p := range pats {
 		res.Patterns = append(res.Patterns, p.Name)
 	}
-	for c, curve := range curves {
+	// Cells write disjoint columns directly; no reduction is needed
+	// because each matrix slot is assigned exactly once.
+	runCells(context.Background(), sweepPool(workers, len(curves)), len(curves), func(c int) error {
+		curve := curves[c]
 		mesh := topology.NewMesh(procOrder, curve)
 		torus := topology.NewTorus(procOrder, curve)
 		for i, p := range pats {
@@ -73,7 +77,8 @@ func RunPrimitives(procOrder uint) PrimitivesResult {
 				}
 			}
 		}
-	}
+		return nil
+	})
 	return res
 }
 
@@ -124,45 +129,65 @@ func RunContention(ctx context.Context, p Params) (ContentionResult, error) {
 		TorusMaxLoad:  make([]float64, n),
 		TorusMeanLoad: make([]float64, n),
 	}
-	for trial := 0; trial < p.Trials; trial++ {
-		pts, err := samplePoints(dist.Uniform, p, trial)
+	type gridOut struct {
+		acd, maxLoad, meanLoad float64
+	}
+	type cellOut struct{ mesh, torus gridOut }
+	groups := make([]shared[[]geom.Point], p.Trials)
+	outs := make([]cellOut, p.Trials*n)
+	pool := sweepPool(p.Workers, len(outs))
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % n
+		trial := cell / n
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, p, trial)
+		})
 		if err != nil {
-			return ContentionResult{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return ContentionResult{}, err
+		curve := curves[c]
+		a, err := acd.Assign(pts, curve, p.Order, p.P())
+		if err != nil {
+			return err
+		}
+		grids := []contention.GridTopology{
+			topology.NewMesh(p.ProcOrder, curve),
+			topology.NewTorus(p.ProcOrder, curve),
+		}
+		var o cellOut
+		for g, grid := range grids {
+			tr := contention.NewTracker(grid)
+			fmmmodel.VisitNFIPairs(a, fmmmodel.NFIOptions{
+				Radius: p.Radius, Metric: geom.MetricChebyshev,
+			}, tr.Route)
+			s := tr.Stats()
+			acdVal := 0.0
+			if s.Messages > 0 {
+				acdVal = float64(s.Hops) / float64(s.Messages)
 			}
-			a, err := acd.Assign(pts, curve, p.Order, p.P())
-			if err != nil {
-				return ContentionResult{}, err
-			}
-			grids := []contention.GridTopology{
-				topology.NewMesh(p.ProcOrder, curve),
-				topology.NewTorus(p.ProcOrder, curve),
-			}
-			for g, grid := range grids {
-				tr := contention.NewTracker(grid)
-				fmmmodel.VisitNFIPairs(a, fmmmodel.NFIOptions{
-					Radius: p.Radius, Metric: geom.MetricChebyshev,
-				}, tr.Route)
-				s := tr.Stats()
-				acdVal := 0.0
-				if s.Messages > 0 {
-					acdVal = float64(s.Hops) / float64(s.Messages)
-				}
-				f := 1 / float64(p.Trials)
-				if g == 0 {
-					res.MeshACD[c] += acdVal * f
-					res.MeshMaxLoad[c] += float64(s.MaxLinkLoad) * f
-					res.MeshMeanLoad[c] += s.MeanLinkLoad * f
-				} else {
-					res.TorusACD[c] += acdVal * f
-					res.TorusMaxLoad[c] += float64(s.MaxLinkLoad) * f
-					res.TorusMeanLoad[c] += s.MeanLinkLoad * f
-				}
+			out := gridOut{acd: acdVal, maxLoad: float64(s.MaxLinkLoad), meanLoad: s.MeanLinkLoad}
+			if g == 0 {
+				o.mesh = out
+			} else {
+				o.torus = out
 			}
 		}
+		a.Release()
+		outs[cell] = o
+		return nil
+	})
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	f := 1 / float64(p.Trials)
+	for cell, o := range outs {
+		c := cell % n
+		res.MeshACD[c] += o.mesh.acd * f
+		res.MeshMaxLoad[c] += o.mesh.maxLoad * f
+		res.MeshMeanLoad[c] += o.mesh.meanLoad * f
+		res.TorusACD[c] += o.torus.acd * f
+		res.TorusMaxLoad[c] += o.torus.maxLoad * f
+		res.TorusMeanLoad[c] += o.torus.meanLoad * f
 	}
 	return res, nil
 }

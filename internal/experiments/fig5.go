@@ -44,8 +44,9 @@ func (f Fig5Result) SeriesTable() *tablefmt.SeriesTable {
 // RunFig5 computes the ANNS of the paper's four curves for every
 // resolution order in [minOrder, maxOrder] at the given radius. The
 // paper sweeps 2x2 through 512x512 (orders 1..9), radius 1 in Figure
-// 5(a) and radius 6 in Figure 5(b).
-func RunFig5(ctx context.Context, minOrder, maxOrder uint, radius int) (Fig5Result, error) {
+// 5(a) and radius 6 in Figure 5(b). workers caps the sweep pool over
+// curve x order cells (0 means GOMAXPROCS).
+func RunFig5(ctx context.Context, minOrder, maxOrder uint, radius, workers int) (Fig5Result, error) {
 	if minOrder < 1 || maxOrder < minOrder || maxOrder > 12 {
 		return Fig5Result{}, fmt.Errorf("experiments: bad order range [%d,%d]", minOrder, maxOrder)
 	}
@@ -58,14 +59,19 @@ func RunFig5(ctx context.Context, minOrder, maxOrder uint, radius int) (Fig5Resu
 		res.Orders = append(res.Orders, o)
 	}
 	res.ANNS = make([][]float64, len(curves))
-	for c, curve := range curves {
+	for c := range curves {
 		res.ANNS[c] = make([]float64, len(res.Orders))
-		for i, o := range res.Orders {
-			if err := ctx.Err(); err != nil {
-				return Fig5Result{}, err
-			}
-			res.ANNS[c][i] = anns.Stretch(curve, o, anns.Options{Radius: radius}).Mean
-		}
+	}
+	no := len(res.Orders)
+	cells := len(curves) * no
+	err := runCells(ctx, sweepPool(workers, cells), cells, func(cell int) error {
+		c := cell / no
+		i := cell % no
+		res.ANNS[c][i] = anns.Stretch(curves[c], res.Orders[i], anns.Options{Radius: radius}).Mean
+		return nil
+	})
+	if err != nil {
+		return Fig5Result{}, err
 	}
 	return res, nil
 }

@@ -61,36 +61,60 @@ func RunFig6(ctx context.Context, p Params) (Fig6Result, error) {
 		NFI:        zeroRect(len(Fig6Topologies), len(curves)),
 		FFI:        zeroRect(len(Fig6Topologies), len(curves)),
 	}
-	for trial := 0; trial < p.Trials; trial++ {
-		pts, err := samplePoints(dist.Uniform, p, trial)
+	nc := len(curves)
+	nt := len(Fig6Topologies)
+	type cellOut struct {
+		nfi, ffi []float64 // per topology
+	}
+	groups := make([]shared[[]geom.Point], p.Trials)
+	outs := make([]cellOut, p.Trials*nc)
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % nc
+		trial := cell / nc
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, p, trial)
+		})
 		if err != nil {
-			return Fig6Result{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return Fig6Result{}, err
-			}
-			a, err := acd.Assign(pts, curve, p.Order, p.P())
+		curve := curves[c]
+		a, err := acd.Assign(pts, curve, p.Order, p.P())
+		if err != nil {
+			return err
+		}
+		topos := make([]topology.Topology, nt)
+		for t, name := range Fig6Topologies {
+			topo, err := topology.New(name, p.P(), curve)
 			if err != nil {
-				return Fig6Result{}, err
+				return err
 			}
-			topos := make([]topology.Topology, len(Fig6Topologies))
-			for t, name := range Fig6Topologies {
-				topo, err := topology.New(name, p.P(), curve)
-				if err != nil {
-					return Fig6Result{}, err
-				}
-				topos[t] = topo
-			}
-			nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-				Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
-			})
-			tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-			ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: p.Workers})
-			for t := range topos {
-				res.NFI[t][c] += nfiAccs[t].ACD()
-				res.FFI[t][c] += ffiAccs[t].Total().ACD()
-			}
+			topos[t] = topo
+		}
+		nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+		})
+		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+		ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
+		o := cellOut{nfi: make([]float64, nt), ffi: make([]float64, nt)}
+		for t := range topos {
+			o.nfi[t] = nfiAccs[t].ACD()
+			o.ffi[t] = ffiAccs[t].Total().ACD()
+		}
+		tree.Release()
+		a.Release()
+		outs[cell] = o
+		return nil
+	})
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	for cell, o := range outs {
+		c := cell % nc
+		for t := 0; t < nt; t++ {
+			res.NFI[t][c] += o.nfi[t]
+			res.FFI[t][c] += o.ffi[t]
 		}
 	}
 	scaleMatrix(res.NFI, 1/float64(p.Trials))

@@ -64,34 +64,52 @@ func RunFig7(ctx context.Context, p Params, procOrders []uint) (Fig7Result, erro
 	for _, o := range procOrders {
 		res.ProcCounts = append(res.ProcCounts, 1<<(2*o))
 	}
-	for trial := 0; trial < p.Trials; trial++ {
-		pts, err := samplePoints(dist.Uniform, p, trial)
+	nc := len(curves)
+	no := len(procOrders)
+	type cellOut struct{ nfi, ffi float64 }
+	groups := make([]shared[[]geom.Point], p.Trials)
+	outs := make([]cellOut, p.Trials*nc*no)
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		i := cell % no
+		c := (cell / no) % nc
+		trial := cell / (no * nc)
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, p, trial)
+		})
 		if err != nil {
-			return Fig7Result{}, err
+			return err
 		}
-		for c, curve := range curves {
-			for i, po := range procOrders {
-				if err := ctx.Err(); err != nil {
-					return Fig7Result{}, err
-				}
-				procs := 1 << (2 * po)
-				a, err := acd.Assign(pts, curve, p.Order, procs)
-				if err != nil {
-					return Fig7Result{}, err
-				}
-				// Even with a single torus per step, the matrix path
-				// pays off: the event stream collapses to its distinct
-				// rank pairs before any distance is computed.
-				topos := []topology.Topology{topology.NewTorus(po, curve)}
-				nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-					Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
-				})
-				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-				ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: p.Workers})
-				res.NFI[c][i] += nfi[0].ACD()
-				res.FFI[c][i] += ffi[0].Total().ACD()
-			}
+		curve := curves[c]
+		po := procOrders[i]
+		procs := 1 << (2 * po)
+		a, err := acd.Assign(pts, curve, p.Order, procs)
+		if err != nil {
+			return err
 		}
+		// Even with a single torus per step, the matrix path pays off:
+		// the event stream collapses to its distinct rank pairs before
+		// any distance is computed.
+		topos := []topology.Topology{topology.NewTorus(po, curve)}
+		nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+		})
+		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+		ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
+		tree.Release()
+		a.Release()
+		outs[cell] = cellOut{nfi: nfi[0].ACD(), ffi: ffi[0].Total().ACD()}
+		return nil
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	for cell, o := range outs {
+		i := cell % no
+		c := (cell / no) % nc
+		res.NFI[c][i] += o.nfi
+		res.FFI[c][i] += o.ffi
 	}
 	scaleMatrix(res.NFI, 1/float64(p.Trials))
 	scaleMatrix(res.FFI, 1/float64(p.Trials))

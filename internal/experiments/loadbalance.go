@@ -59,51 +59,71 @@ func RunLoadBalance(ctx context.Context, p Params) (LoadBalanceResult, error) {
 		CountACD:       make([]float64, n),
 		WorkACD:        make([]float64, n),
 	}
-	for trial := 0; trial < p.Trials; trial++ {
-		pts, err := samplePoints(dist.Exponential, p, trial)
+	type cellOut struct {
+		countACD, workACD, countImb, workImb float64
+	}
+	groups := make([]shared[[]geom.Point], p.Trials)
+	outs := make([]cellOut, p.Trials*n)
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % n
+		trial := cell / n
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Exponential, p, trial)
+		})
 		if err != nil {
-			return LoadBalanceResult{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return LoadBalanceResult{}, err
-			}
-			// Count-balanced baseline.
-			count, err := acd.Assign(pts, curve, p.Order, p.P())
-			if err != nil {
-				return LoadBalanceResult{}, err
-			}
-			// Per-particle work in curve order: near-field neighbor
-			// count.
-			work := make([]float64, count.N())
-			for i, particle := range count.Particles {
-				deg := 0
-				geom.VisitNeighborhood(particle, p.Radius, geom.MetricChebyshev, count.Side(),
-					func(q geom.Point) {
-						if count.RankAt(q) >= 0 {
-							deg++
-						}
-					})
-				work[i] = float64(deg)
-			}
-			ranks, err := partition.WeightedChunks(work, p.P())
-			if err != nil {
-				return LoadBalanceResult{}, err
-			}
-			weighted, err := acd.FromOwners(count.Particles, ranks, p.Order, p.P())
-			if err != nil {
-				return LoadBalanceResult{}, err
-			}
-			torus := topology.NewTorus(p.ProcOrder, curve)
-			opts := fmmmodel.NFIOptions{Radius: p.Radius, Metric: geom.MetricChebyshev}
-			f := 1 / float64(p.Trials)
-			res.CountACD[c] += fmmmodel.NFI(count, torus, opts).ACD() * f
-			res.WorkACD[c] += fmmmodel.NFI(weighted, torus, opts).ACD() * f
-			res.CountImbalance[c] += partition.Imbalance(
-				partition.ChunkWeights(work, count.Ranks, p.P())) * f
-			res.WorkImbalance[c] += partition.Imbalance(
-				partition.ChunkWeights(work, ranks, p.P())) * f
+		curve := curves[c]
+		// Count-balanced baseline.
+		count, err := acd.Assign(pts, curve, p.Order, p.P())
+		if err != nil {
+			return err
 		}
+		// Per-particle work in curve order: near-field neighbor count.
+		work := make([]float64, count.N())
+		for i, particle := range count.Particles {
+			deg := 0
+			geom.VisitNeighborhood(particle, p.Radius, geom.MetricChebyshev, count.Side(),
+				func(q geom.Point) {
+					if count.RankAt(q) >= 0 {
+						deg++
+					}
+				})
+			work[i] = float64(deg)
+		}
+		ranks, err := partition.WeightedChunks(work, p.P())
+		if err != nil {
+			return err
+		}
+		weighted, err := acd.FromOwners(count.Particles, ranks, p.Order, p.P())
+		if err != nil {
+			return err
+		}
+		torus := topology.NewTorus(p.ProcOrder, curve)
+		opts := fmmmodel.NFIOptions{Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner}
+		o := cellOut{
+			countACD: fmmmodel.NFI(count, torus, opts).ACD(),
+			workACD:  fmmmodel.NFI(weighted, torus, opts).ACD(),
+			countImb: partition.Imbalance(partition.ChunkWeights(work, count.Ranks, p.P())),
+			workImb:  partition.Imbalance(partition.ChunkWeights(work, ranks, p.P())),
+		}
+		weighted.Release()
+		count.Release()
+		outs[cell] = o
+		return nil
+	})
+	if err != nil {
+		return LoadBalanceResult{}, err
+	}
+	f := 1 / float64(p.Trials)
+	for cell, o := range outs {
+		c := cell % n
+		res.CountACD[c] += o.countACD * f
+		res.WorkACD[c] += o.workACD * f
+		res.CountImbalance[c] += o.countImb * f
+		res.WorkImbalance[c] += o.workImb * f
 	}
 	return res, nil
 }

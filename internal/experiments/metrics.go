@@ -78,37 +78,59 @@ func RunMetrics(ctx context.Context, cfg MetricsConfig) (MetricsResult, error) {
 		NFI:        make([]float64, n),
 		FFI:        make([]float64, n),
 	}
-	for c, curve := range curves {
-		if err := ctx.Err(); err != nil {
-			return MetricsResult{}, err
-		}
+	// Sweep 1: the application-independent metric columns, one cell per
+	// curve (each slot is written exactly once, so no reduction).
+	if err := runCells(ctx, sweepPool(cfg.Params.Workers, n), n, func(c int) error {
+		curve := curves[c]
 		res.ANNS[c] = anns.Stretch(curve, cfg.MetricOrder, anns.Options{Radius: 1}).Mean
 		res.MaxStretch[c] = anns.MaxStretch(curve, cfg.MetricOrder, anns.Options{Radius: 1})
 		res.AllPairs[c] = anns.AllPairsStretch(curve, cfg.MetricOrder, 20000,
 			rng.New(cfg.Params.Seed^uint64(c))).Mean
 		res.Clusters[c] = clustering.AverageClusters(curve, cfg.MetricOrder, cfg.QuerySide,
 			cfg.QueryTrials, rng.New(cfg.Params.Seed+uint64(c)))
+		return nil
+	}); err != nil {
+		return MetricsResult{}, err
 	}
-	for trial := 0; trial < cfg.Params.Trials; trial++ {
-		pts, err := samplePoints(dist.Uniform, cfg.Params, trial)
+	// Sweep 2: the ACD columns over trial x curve cells.
+	type cellOut struct{ nfi, ffi float64 }
+	groups := make([]shared[[]geom.Point], cfg.Params.Trials)
+	outs := make([]cellOut, cfg.Params.Trials*n)
+	pool := sweepPool(cfg.Params.Workers, len(outs))
+	inner := innerWorkers(cfg.Params.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % n
+		trial := cell / n
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, cfg.Params, trial)
+		})
 		if err != nil {
-			return MetricsResult{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return MetricsResult{}, err
-			}
-			a, err := acd.Assign(pts, curve, cfg.Params.Order, cfg.Params.P())
-			if err != nil {
-				return MetricsResult{}, err
-			}
-			torus := topology.NewTorus(cfg.Params.ProcOrder, curve)
-			f := 1 / float64(cfg.Params.Trials)
-			res.NFI[c] += fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
-				Radius: cfg.Params.Radius, Metric: geom.MetricChebyshev,
-			}).ACD() * f
-			res.FFI[c] += fmmmodel.FFI(a, torus, fmmmodel.FFIOptions{}).Total().ACD() * f
+		curve := curves[c]
+		a, err := acd.Assign(pts, curve, cfg.Params.Order, cfg.Params.P())
+		if err != nil {
+			return err
 		}
+		torus := topology.NewTorus(cfg.Params.ProcOrder, curve)
+		o := cellOut{
+			nfi: fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
+				Radius: cfg.Params.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+			}).ACD(),
+			ffi: fmmmodel.FFI(a, torus, fmmmodel.FFIOptions{Workers: inner}).Total().ACD(),
+		}
+		a.Release()
+		outs[cell] = o
+		return nil
+	})
+	if err != nil {
+		return MetricsResult{}, err
+	}
+	f := 1 / float64(cfg.Params.Trials)
+	for cell, o := range outs {
+		c := cell % n
+		res.NFI[c] += o.nfi * f
+		res.FFI[c] += o.ffi * f
 	}
 	return res, nil
 }

@@ -51,29 +51,47 @@ func RunRadiusSweep(ctx context.Context, p Params, radii []int) (RadiusSweepResu
 		Curves: curveNames(curves),
 		NFI:    zeroRect(len(curves), len(radii)),
 	}
-	for trial := 0; trial < p.Trials; trial++ {
-		pts, err := samplePoints(dist.Uniform, p, trial)
+	nc := len(curves)
+	groups := make([]shared[[]geom.Point], p.Trials)
+	outs := make([][]float64, p.Trials*nc) // per cell: NFI ACD per radius
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % nc
+		trial := cell / nc
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, p, trial)
+		})
 		if err != nil {
-			return RadiusSweepResult{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return RadiusSweepResult{}, err
-			}
-			a, err := acd.Assign(pts, curve, p.Order, p.P())
-			if err != nil {
-				return RadiusSweepResult{}, err
-			}
-			// Each radius induces its own event stream, so the sweep
-			// builds one matrix per radius and contracts it against the
-			// torus via the shared matrix path.
-			topos := []topology.Topology{topology.NewTorus(p.ProcOrder, curve)}
-			for i, radius := range radii {
-				acc := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-					Radius: radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
-				})
-				res.NFI[c][i] += acc[0].ACD()
-			}
+		curve := curves[c]
+		a, err := acd.Assign(pts, curve, p.Order, p.P())
+		if err != nil {
+			return err
+		}
+		// Each radius induces its own event stream, so the sweep
+		// builds one matrix per radius and contracts it against the
+		// torus via the shared matrix path.
+		topos := []topology.Topology{topology.NewTorus(p.ProcOrder, curve)}
+		o := make([]float64, len(radii))
+		for i, radius := range radii {
+			acc := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+				Radius: radius, Metric: geom.MetricChebyshev, Workers: inner,
+			})
+			o[i] = acc[0].ACD()
+		}
+		a.Release()
+		outs[cell] = o
+		return nil
+	})
+	if err != nil {
+		return RadiusSweepResult{}, err
+	}
+	for cell, o := range outs {
+		c := cell % nc
+		for i := range radii {
+			res.NFI[c][i] += o[i]
 		}
 	}
 	scaleMatrix(res.NFI, 1/float64(p.Trials))
@@ -117,35 +135,59 @@ func RunSizeSweep(ctx context.Context, p Params, sizes []int) (SizeSweepResult, 
 		NFI:    zeroRect(len(curves), len(sizes)),
 		FFI:    zeroRect(len(curves), len(sizes)),
 	}
+	// Per-size params are validated up front so a bad size fails before
+	// any cell runs.
+	qs := make([]Params, len(sizes))
 	for i, n := range sizes {
 		q := p
 		q.Particles = n
 		if err := q.Validate(); err != nil {
 			return SizeSweepResult{}, err
 		}
-		for trial := 0; trial < q.Trials; trial++ {
-			pts, err := samplePoints(dist.Uniform, q, trial)
-			if err != nil {
-				return SizeSweepResult{}, err
-			}
-			for c, curve := range curves {
-				if err := ctx.Err(); err != nil {
-					return SizeSweepResult{}, err
-				}
-				a, err := acd.Assign(pts, curve, q.Order, q.P())
-				if err != nil {
-					return SizeSweepResult{}, err
-				}
-				topos := []topology.Topology{topology.NewTorus(q.ProcOrder, curve)}
-				nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-					Radius: q.Radius, Metric: geom.MetricChebyshev, Workers: q.Workers,
-				})
-				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-				ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: q.Workers})
-				res.NFI[c][i] += nfi[0].ACD() / float64(q.Trials)
-				res.FFI[c][i] += ffi[0].Total().ACD() / float64(q.Trials)
-			}
+		qs[i] = q
+	}
+	nc := len(curves)
+	type cellOut struct{ nfi, ffi float64 }
+	groups := make([]shared[[]geom.Point], len(sizes)*p.Trials)
+	outs := make([]cellOut, len(groups)*nc)
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % nc
+		g := cell / nc
+		trial := g % p.Trials
+		i := g / p.Trials
+		q := qs[i]
+		pts, err := groups[g].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, q, trial)
+		})
+		if err != nil {
+			return err
 		}
+		curve := curves[c]
+		a, err := acd.Assign(pts, curve, q.Order, q.P())
+		if err != nil {
+			return err
+		}
+		topos := []topology.Topology{topology.NewTorus(q.ProcOrder, curve)}
+		nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+			Radius: q.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+		})
+		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+		ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
+		tree.Release()
+		a.Release()
+		outs[cell] = cellOut{nfi: nfi[0].ACD(), ffi: ffi[0].Total().ACD()}
+		return nil
+	})
+	if err != nil {
+		return SizeSweepResult{}, err
+	}
+	for cell, o := range outs {
+		c := cell % nc
+		i := cell / nc / p.Trials
+		res.NFI[c][i] += o.nfi / float64(p.Trials)
+		res.FFI[c][i] += o.ffi / float64(p.Trials)
 	}
 	return res, nil
 }
@@ -187,32 +229,52 @@ func RunMeshTorus(ctx context.Context, p Params) (MeshTorusResult, error) {
 		MeshFFI:  make([]float64, len(curves)),
 		TorusFFI: make([]float64, len(curves)),
 	}
-	for trial := 0; trial < p.Trials; trial++ {
-		pts, err := samplePoints(dist.Uniform, p, trial)
+	nc := len(curves)
+	type cellOut struct{ meshNFI, torusNFI, meshFFI, torusFFI float64 }
+	groups := make([]shared[[]geom.Point], p.Trials)
+	outs := make([]cellOut, p.Trials*nc)
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % nc
+		trial := cell / nc
+		pts, err := groups[trial].get(func() ([]geom.Point, error) {
+			return samplePoints(dist.Uniform, p, trial)
+		})
 		if err != nil {
-			return MeshTorusResult{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return MeshTorusResult{}, err
-			}
-			a, err := acd.Assign(pts, curve, p.Order, p.P())
-			if err != nil {
-				return MeshTorusResult{}, err
-			}
-			topos := []topology.Topology{
-				topology.NewMesh(p.ProcOrder, curve),
-				topology.NewTorus(p.ProcOrder, curve),
-			}
-			nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-				Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
-			})
-			ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: p.Workers})
-			res.MeshNFI[c] += nfi[0].ACD() / float64(p.Trials)
-			res.TorusNFI[c] += nfi[1].ACD() / float64(p.Trials)
-			res.MeshFFI[c] += ffi[0].Total().ACD() / float64(p.Trials)
-			res.TorusFFI[c] += ffi[1].Total().ACD() / float64(p.Trials)
+		curve := curves[c]
+		a, err := acd.Assign(pts, curve, p.Order, p.P())
+		if err != nil {
+			return err
 		}
+		topos := []topology.Topology{
+			topology.NewMesh(p.ProcOrder, curve),
+			topology.NewTorus(p.ProcOrder, curve),
+		}
+		nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+		})
+		ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner})
+		a.Release()
+		outs[cell] = cellOut{
+			meshNFI:  nfi[0].ACD(),
+			torusNFI: nfi[1].ACD(),
+			meshFFI:  ffi[0].Total().ACD(),
+			torusFFI: ffi[1].Total().ACD(),
+		}
+		return nil
+	})
+	if err != nil {
+		return MeshTorusResult{}, err
+	}
+	for cell, o := range outs {
+		c := cell % nc
+		res.MeshNFI[c] += o.meshNFI / float64(p.Trials)
+		res.TorusNFI[c] += o.torusNFI / float64(p.Trials)
+		res.MeshFFI[c] += o.meshFFI / float64(p.Trials)
+		res.TorusFFI[c] += o.torusFFI / float64(p.Trials)
 	}
 	return res, nil
 }

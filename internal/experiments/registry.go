@@ -169,7 +169,7 @@ var registry = []Spec{
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res := RunPrimitives(p.ProcOrder)
+			res := RunPrimitives(p.ProcOrder, p.Workers)
 			return &Output{Params: map[string]any{"procorder": p.ProcOrder}, Result: res}, nil
 		},
 		Decode: decodeResult[PrimitivesResult],
@@ -206,7 +206,7 @@ var registry = []Spec{
 		Paper: Table12Paper,
 		Run: func(ctx context.Context, p Params) (*Output, error) {
 			tp := ThreeDFromParams(p)
-			res, err := RunThreeD(ctx, tp)
+			res, err := RunThreeD(ctx, tp, p.Workers)
 			if err != nil {
 				return nil, err
 			}
@@ -220,7 +220,7 @@ var registry = []Spec{
 		Paper: Table12Paper,
 		Run: func(ctx context.Context, p Params) (*Output, error) {
 			cfg := ClusteringFromParams(p)
-			res, err := RunClustering(ctx, cfg.Order, cfg.QuerySides, cfg.QueryTrials, cfg.Seed)
+			res, err := RunClustering(ctx, cfg.Order, cfg.QuerySides, cfg.QueryTrials, cfg.Seed, p.Workers)
 			if err != nil {
 				return nil, err
 			}

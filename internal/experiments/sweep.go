@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sfcacd/internal/obs"
+)
+
+// This file is the sweep scheduler: every runner decomposes its nested
+// parameter loops (distribution x trial x particle curve x ...) into a
+// flat space of independent cells and executes them here on a bounded
+// worker pool. Three properties are load-bearing:
+//
+//   - Determinism. Cells write into index-addressed output slots and
+//     the runner reduces them in cell-index order — the same order the
+//     old serial loops accumulated in — so the result bytes are
+//     identical for every worker count (pinned by TestSweepEquality).
+//   - Bounded cancellation. Workers check the context between cells,
+//     so cancellation latency is at most one cell, regardless of how
+//     many trials or curves a sweep spans.
+//   - Deterministic errors. Cells are handed out in increasing index
+//     order from an atomic cursor and only a cell's own error is ever
+//     recorded; of the recorded errors the lowest cell index wins,
+//     which reproduces the error the serial loop would have returned.
+var (
+	// sweepCellsRun counts executed sweep cells across all runners.
+	sweepCellsRun = obs.GetCounter("sweep.cells")
+	// sweepWorkersGauge records the pool size of the most recent sweep.
+	sweepWorkersGauge = obs.GetGauge("sweep.workers")
+)
+
+// sweepPool resolves the outer worker-pool size for a sweep of the
+// given cell count: the requested Params.Workers, defaulting to
+// GOMAXPROCS, clamped to the cell count.
+func sweepPool(requested, cells int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > cells {
+		w = cells
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// innerWorkers splits the worker budget between the sweep pool and the
+// per-cell accumulation/matrix-build passes: with `pool` cells running
+// at once, each gets total/pool inner workers (at least 1) so a sweep
+// does not oversubscribe the machine by pool x GOMAXPROCS goroutines.
+// Inner results are worker-count-invariant, so the split cannot change
+// any output.
+func innerWorkers(requested, pool int) int {
+	total := requested
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	w := total / pool
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runCells executes cells 0..cells-1 on a pool of `workers` goroutines
+// (use sweepPool to size it). run must be safe for concurrent calls on
+// distinct cell indices and must write its output only to slots owned
+// by its cell. The context is checked before every cell, bounding
+// cancellation latency to one cell; a cancelled context yields
+// ctx.Err() unless a cell failed first. On failure the sweep stops
+// early and the error of the lowest failing cell index is returned.
+func runCells(ctx context.Context, workers, cells int, run func(cell int) error) error {
+	if cells <= 0 {
+		return ctx.Err()
+	}
+	sweepCellsRun.Add(uint64(cells))
+	sweepWorkersGauge.Set(float64(workers))
+	span := obs.StartSpan("sweep")
+	defer span.End()
+	if workers <= 1 {
+		for i := 0; i < cells; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		failCell = -1
+		failErr  error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			detach := span.Attach()
+			defer detach()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cells {
+					return
+				}
+				if sctx.Err() != nil {
+					return
+				}
+				if err := run(i); err != nil {
+					// Cells never return context errors themselves (the
+					// scheduler owns all ctx checks), so every recorded
+					// error is a real cell failure; the monotone cursor
+					// guarantees the serial loop would have hit the
+					// lowest recorded index first.
+					mu.Lock()
+					if failCell == -1 || i < failCell {
+						failCell, failErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failCell != -1 {
+		return failErr
+	}
+	return ctx.Err()
+}
+
+// shared is a lazily computed per-group artifact (e.g. one trial's
+// sampled particle set) shared read-only by all cells of the group;
+// whichever cell arrives first computes it.
+type shared[T any] struct {
+	once sync.Once
+	v    T
+	err  error
+}
+
+func (s *shared[T]) get(f func() (T, error)) (T, error) {
+	s.once.Do(func() { s.v, s.err = f() })
+	return s.v, s.err
+}

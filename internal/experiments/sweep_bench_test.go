@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkTable12Sweep measures the full Tables I-II sweep at a small
+// scale under different worker counts; on a multi-core runner the
+// workers=4 case should approach a linear speedup over workers=1.
+func BenchmarkTable12Sweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := Params{
+				Particles: 2000, Order: 7, ProcOrder: 3,
+				Radius: 1, Trials: 2, Seed: 2013, Workers: workers,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunTable12(context.Background(), p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

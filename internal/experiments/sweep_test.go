@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSweepEquality pins the scheduler's determinism guarantee: every
+// registered experiment produces byte-identical result JSON whether its
+// sweep runs on one worker or several. This is what lets Workers stay
+// outside the canonical cache key.
+func TestSweepEquality(t *testing.T) {
+	p := Params{Particles: 320, Order: 5, ProcOrder: 2, Radius: 1, Trials: 2, Seed: 7}
+	for _, spec := range Registry() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			serial := p
+			serial.Workers = 1
+			out1, err := spec.Run(context.Background(), serial)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			parallel := p
+			parallel.Workers = 3
+			outN, err := spec.Run(context.Background(), parallel)
+			if err != nil {
+				t.Fatalf("workers=3: %v", err)
+			}
+			b1, err := json.Marshal(out1.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bN, err := json.Marshal(outN.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(bN) {
+				t.Errorf("result bytes differ between workers=1 and workers=3\n 1: %s\n 3: %s", b1, bN)
+			}
+		})
+	}
+}
+
+func TestSweepPool(t *testing.T) {
+	cases := []struct {
+		requested, cells, want int
+	}{
+		{0, 100, 1}, // GOMAXPROCS default (>=1 always)
+		{4, 100, 4}, // explicit request honored
+		{4, 2, 2},   // clamped to cell count
+		{-3, 8, 1},  // negative treated as default
+		{1, 0, 1},   // floor at 1
+	}
+	for _, c := range cases {
+		got := sweepPool(c.requested, c.cells)
+		if c.requested == 0 || c.requested < 0 {
+			// The default is GOMAXPROCS, clamped; just check bounds.
+			if got < 1 || (c.cells > 0 && got > c.cells && got != 1) {
+				t.Errorf("sweepPool(%d, %d) = %d, out of bounds", c.requested, c.cells, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("sweepPool(%d, %d) = %d, want %d", c.requested, c.cells, got, c.want)
+		}
+	}
+	if got := innerWorkers(8, 4); got != 2 {
+		t.Errorf("innerWorkers(8, 4) = %d, want 2", got)
+	}
+	if got := innerWorkers(4, 8); got != 1 {
+		t.Errorf("innerWorkers(4, 8) = %d, want 1 (floor)", got)
+	}
+	if got := innerWorkers(0, 1); got < 1 {
+		t.Errorf("innerWorkers(0, 1) = %d, want >= 1", got)
+	}
+}
+
+// TestSweepDeterministicError checks that when several cells fail, the
+// error of the lowest failing cell index is returned — the one the old
+// serial loop would have hit first — for any worker count.
+func TestSweepDeterministicError(t *testing.T) {
+	errLow := errors.New("cell 3 failed")
+	errHigh := errors.New("cell 7 failed")
+	for _, workers := range []int{1, 4} {
+		err := runCells(context.Background(), workers, 16, func(cell int) error {
+			switch cell {
+			case 3:
+				return errLow
+			case 7:
+				return errHigh
+			default:
+				return nil
+			}
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want lowest-cell error %v", workers, err, errLow)
+		}
+	}
+}
+
+// TestSweepCancellation checks the bounded-cancellation guarantee: a
+// context cancelled mid-sweep aborts the sweep after at most one more
+// cell per worker, and the scheduler reports the context error.
+func TestSweepCancellation(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		started := make(chan struct{})
+		var once atomic.Bool
+		const cells = 10000
+		done := make(chan error, 1)
+		go func() {
+			done <- runCells(ctx, workers, cells, func(cell int) error {
+				if once.CompareAndSwap(false, true) {
+					close(started)
+				}
+				ran.Add(1)
+				time.Sleep(100 * time.Microsecond)
+				return nil
+			})
+		}()
+		<-started
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("workers=%d: got %v, want context.Canceled", workers, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: sweep did not abort after cancellation", workers)
+		}
+		if n := ran.Load(); n >= cells {
+			t.Errorf("workers=%d: all %d cells ran despite cancellation", workers, n)
+		}
+	}
+}
+
+// TestSweepEmpty checks the zero-cell edge case.
+func TestSweepEmpty(t *testing.T) {
+	if err := runCells(context.Background(), 4, 0, func(int) error {
+		t.Fatal("cell ran")
+		return nil
+	}); err != nil {
+		t.Fatalf("empty sweep: %v", err)
+	}
+}

@@ -47,45 +47,76 @@ func (t Table12Result) Matrices() (nfi, ffi *tablefmt.Matrix) {
 
 // RunTable12 reproduces Tables I and II: for every input distribution
 // and every particle-order x processor-order SFC pair, the NFI and FFI
-// ACD on a torus of 4^ProcOrder processors, averaged over Trials.
+// ACD on a torus of 4^ProcOrder processors, averaged over Trials. The
+// full distribution x trial x particle-curve space runs as one sweep.
 func RunTable12(ctx context.Context, p Params) ([]Table12Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	curves := sfc.All()
 	topos := torusPerCurve(p, curves)
+	samplers := dist.All()
+	nc := len(curves)
+
+	// Cell (d, trial, pc) -> index (d*Trials+trial)*nc + pc; the trial
+	// group (d, trial) shares one sampled particle set.
+	type cellOut struct {
+		nfi, ffi []float64 // per processor-order curve
+	}
+	groups := make([]shared[[]geom.Point], len(samplers)*p.Trials)
+	outs := make([]cellOut, len(groups)*nc)
+	pool := sweepPool(p.Workers, len(outs))
+	inner := innerWorkers(p.Workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		pc := cell % nc
+		g := cell / nc
+		trial := g % p.Trials
+		d := g / p.Trials
+		pts, err := groups[g].get(func() ([]geom.Point, error) {
+			return samplePoints(samplers[d], p, trial)
+		})
+		if err != nil {
+			return err
+		}
+		a, err := acd.Assign(pts, curves[pc], p.Order, p.P())
+		if err != nil {
+			return err
+		}
+		nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+		})
+		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+		ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
+		o := cellOut{nfi: make([]float64, nc), ffi: make([]float64, nc)}
+		for proc := range curves {
+			o.nfi[proc] = nfiAccs[proc].ACD()
+			o.ffi[proc] = ffiAccs[proc].Total().ACD()
+		}
+		tree.Release()
+		a.Release()
+		outs[cell] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce in cell-index order: float accumulation order matches the
+	// old serial loops exactly, so results are worker-count-invariant.
 	var out []Table12Result
-	for _, sampler := range dist.All() {
+	for d := range samplers {
 		res := Table12Result{
-			Distribution: sampler.Name(),
+			Distribution: samplers[d].Name(),
 			Curves:       curveNames(curves),
-			NFI:          zeroMatrix(len(curves)),
-			FFI:          zeroMatrix(len(curves)),
+			NFI:          zeroMatrix(nc),
+			FFI:          zeroMatrix(nc),
 		}
 		for trial := 0; trial < p.Trials; trial++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			pts, err := samplePoints(sampler, p, trial)
-			if err != nil {
-				return nil, err
-			}
-			for pc, particleCurve := range curves {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-				a, err := acd.Assign(pts, particleCurve, p.Order, p.P())
-				if err != nil {
-					return nil, err
-				}
-				nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-					Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: p.Workers,
-				})
-				tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-				ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: p.Workers})
+			for pc := 0; pc < nc; pc++ {
+				o := outs[(d*p.Trials+trial)*nc+pc]
 				for proc := range curves {
-					res.NFI[proc][pc] += nfiAccs[proc].ACD()
-					res.FFI[proc][pc] += ffiAccs[proc].Total().ACD()
+					res.NFI[proc][pc] += o.nfi[proc]
+					res.FFI[proc][pc] += o.ffi[proc]
 				}
 			}
 		}

@@ -74,7 +74,10 @@ var ThreeDDefault = ThreeDParams{
 
 // RunThreeD runs the 3D validation: uniform particles ordered by each
 // 3D curve, distributed over a 3D torus placed with the same curve.
-func RunThreeD(ctx context.Context, p ThreeDParams) (ThreeDResult, error) {
+// workers caps the sweep pool (0 means GOMAXPROCS); the knob is a
+// separate argument so ThreeDParams' JSON encoding (recorded in run
+// manifests and cache keys) stays purely scientific.
+func RunThreeD(ctx context.Context, p ThreeDParams, workers int) (ThreeDResult, error) {
 	if p.Particles < 1 || p.Trials < 1 {
 		return ThreeDResult{}, fmt.Errorf("experiments: bad 3D params %+v", p)
 	}
@@ -83,41 +86,58 @@ func RunThreeD(ctx context.Context, p ThreeDParams) (ThreeDResult, error) {
 			p.Particles, geom3.Cells(p.Order))
 	}
 	curves := sfc.AllND(3)
+	nc := len(curves)
 	res := ThreeDResult{
 		ANNSOrder: p.ANNSOrder,
-		NFI:       make([]float64, len(curves)),
-		FFI:       make([]float64, len(curves)),
-		ANNS:      make([]float64, len(curves)),
+		NFI:       make([]float64, nc),
+		FFI:       make([]float64, nc),
+		ANNS:      make([]float64, nc),
 	}
 	for _, c := range curves {
 		res.Curves = append(res.Curves, c.Name())
 	}
 	procs := 1 << (3 * p.ProcOrder)
-	for trial := 0; trial < p.Trials; trial++ {
-		sampling := obs.StartSpan("sampling")
-		pts, err := dist.SampleUnique3(dist.Uniform3, rng.New(trialSeed(p.Seed, trial)), p.Order, p.Particles)
-		sampling.End()
+	type cellOut struct{ nfi, ffi float64 }
+	groups := make([]shared[[]geom3.Point3], p.Trials)
+	outs := make([]cellOut, p.Trials*nc)
+	pool := sweepPool(workers, len(outs))
+	inner := innerWorkers(workers, pool)
+	err := runCells(ctx, pool, len(outs), func(cell int) error {
+		c := cell % nc
+		trial := cell / nc
+		pts, err := groups[trial].get(func() ([]geom3.Point3, error) {
+			defer obs.StartSpan("sampling").End()
+			return dist.SampleUnique3(dist.Uniform3, rng.New(trialSeed(p.Seed, trial)), p.Order, p.Particles)
+		})
 		if err != nil {
-			return ThreeDResult{}, err
+			return err
 		}
-		for c, curve := range curves {
-			if err := ctx.Err(); err != nil {
-				return ThreeDResult{}, err
-			}
-			a, err := model3d.Assign(pts, curve, p.Order, procs)
-			if err != nil {
-				return ThreeDResult{}, err
-			}
-			torus := topology.NewTorus3D(p.ProcOrder, curve)
-			nfi := model3d.NFI(a, torus, model3d.NFIOptions{Radius: p.Radius})
-			ffi := model3d.FFI(a, torus, 0)
-			res.NFI[c] += nfi.ACD() / float64(p.Trials)
-			res.FFI[c] += ffi.Total().ACD() / float64(p.Trials)
+		curve := curves[c]
+		a, err := model3d.Assign(pts, curve, p.Order, procs)
+		if err != nil {
+			return err
 		}
+		torus := topology.NewTorus3D(p.ProcOrder, curve)
+		nfi := model3d.NFI(a, torus, model3d.NFIOptions{Radius: p.Radius, Workers: inner})
+		ffi := model3d.FFI(a, torus, inner)
+		outs[cell] = cellOut{nfi: nfi.ACD(), ffi: ffi.Total().ACD()}
+		return nil
+	})
+	if err != nil {
+		return ThreeDResult{}, err
 	}
-	for c, curve := range curves {
-		mean, _ := model3d.ANNS3D(curve, p.ANNSOrder, 1)
+	for cell, o := range outs {
+		c := cell % nc
+		res.NFI[c] += o.nfi / float64(p.Trials)
+		res.FFI[c] += o.ffi / float64(p.Trials)
+	}
+	// The full-grid ANNS column, one cell per curve.
+	if err := runCells(ctx, sweepPool(workers, nc), nc, func(c int) error {
+		mean, _ := model3d.ANNS3D(curves[c], p.ANNSOrder, 1)
 		res.ANNS[c] = mean
+		return nil
+	}); err != nil {
+		return ThreeDResult{}, err
 	}
 	return res, nil
 }

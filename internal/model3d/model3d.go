@@ -8,7 +8,6 @@ package model3d
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"sfcacd/internal/acd"
@@ -61,7 +60,7 @@ func Assign(particles []geom3.Point3, curve sfc.NDCurve, order uint, p int) (*As
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+	sfc.SortPermByKeys(perm, keys)
 	a := &Assignment{
 		Order:     order,
 		P:         p,

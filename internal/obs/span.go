@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"runtime"
 	"sync"
 	"time"
 )
@@ -12,15 +13,27 @@ import (
 // duration. That keeps run manifests compact and structurally
 // deterministic for seeded runs even when call counts are large.
 //
-// Start/End follow stack (LIFO) discipline on a single goroutine per
-// tracer; the experiment drivers are sequential, so this holds by
-// construction. The tracer itself is mutex-guarded, so concurrent use
-// is memory-safe — interleaved phases from racing goroutines would
-// merely nest unpredictably.
+// Start/End follow stack (LIFO) discipline per goroutine. A single
+// goroutine needs no setup. Worker goroutines that want their phases
+// to nest under a specific span (rather than wherever the owning
+// goroutine happens to be) call Span.Attach first: each attached
+// goroutine then keeps its own cursor into the tree, and because
+// same-named phases merge, any interleaving of attached workers folds
+// into the same deterministic tree. Unattached concurrent use remains
+// memory-safe but nests unpredictably.
 type Tracer struct {
 	mu      sync.Mutex
 	gen     uint64
 	root    *phase
+	current *phase
+	// scopes maps attached goroutine ids to their private cursor.
+	// Empty (the common serial case) means Start never pays for a
+	// goroutine-id lookup.
+	scopes map[uint64]*scope
+}
+
+// scope is the per-goroutine cursor of an attached worker.
+type scope struct {
 	current *phase
 }
 
@@ -65,20 +78,88 @@ type Span struct {
 	t     *Tracer
 	node  *phase
 	prev  *phase
+	scope *scope
 	gen   uint64
 	start time.Time
 	done  bool
 }
 
 // Start opens (or re-enters) the named phase as a child of the
-// currently open phase and makes it current.
+// currently open phase and makes it current. On a goroutine bound by
+// Span.Attach, "currently open" is that goroutine's own cursor.
 func (t *Tracer) Start(name string) *Span {
+	var id uint64
+	if t.hasScopes() {
+		id = goid() // taken outside the lock: runtime.Stack is not free
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	node := t.current.child(name)
+	cur := t.current
+	var sc *scope
+	if id != 0 {
+		if s, ok := t.scopes[id]; ok {
+			sc = s
+			cur = s.current
+		}
+	}
+	node := cur.child(name)
 	node.calls++
-	t.current = node
-	return &Span{t: t, node: node, prev: node.parent, gen: t.gen, start: time.Now()}
+	if sc != nil {
+		sc.current = node
+	} else {
+		t.current = node
+	}
+	return &Span{t: t, node: node, prev: cur, scope: sc, gen: t.gen, start: time.Now()}
+}
+
+func (t *Tracer) hasScopes() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.scopes) > 0
+}
+
+// Attach binds the calling goroutine to this span: until the returned
+// detach function runs, Start calls made from this goroutine nest
+// under the span's phase through a private cursor instead of the
+// tracer-wide one. This is how sweep workers report their phases —
+// every worker attaches to the shared "sweep" span, and merged-by-name
+// children make the resulting tree independent of worker count and
+// scheduling. Call detach from the same goroutine when it is done.
+func (s *Span) Attach() (detach func()) {
+	t := s.t
+	id := goid()
+	t.mu.Lock()
+	if t.scopes == nil {
+		t.scopes = make(map[uint64]*scope)
+	}
+	t.scopes[id] = &scope{current: s.node}
+	t.mu.Unlock()
+	return func() {
+		t.mu.Lock()
+		delete(t.scopes, id)
+		t.mu.Unlock()
+	}
+}
+
+// goid returns the runtime id of the calling goroutine, parsed from
+// the first stack-trace line ("goroutine N [running]:"). There is no
+// exported API for this; the format has been stable since Go 1.4 and
+// the parse is defensive (returns 0, never panics, on mismatch).
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = "goroutine "
+	if n <= len(prefix) || string(buf[:len(prefix)]) != prefix {
+		return 0
+	}
+	var id uint64
+	for _, c := range buf[len(prefix):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
 }
 
 // End closes the span, folding its elapsed wall time into the phase
@@ -97,7 +178,11 @@ func (s *Span) End() {
 		return // the tree this span belongs to was already collected
 	}
 	s.node.ns += int64(elapsed)
-	t.current = s.prev
+	if s.scope != nil {
+		s.scope.current = s.prev
+	} else {
+		t.current = s.prev
+	}
 }
 
 // PhaseSnapshot is one node of a collected phase tree.
@@ -137,6 +222,7 @@ func (t *Tracer) Take() []PhaseSnapshot {
 	out := snapshotPhase(t.root).Children
 	t.root = &phase{}
 	t.current = t.root
+	t.scopes = nil // attached cursors pointed into the collected tree
 	t.gen++
 	return out
 }

@@ -1,6 +1,8 @@
 package quadtree
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"sfcacd/internal/geom"
@@ -93,10 +95,10 @@ func (t *LinearTree) Balance() *LinearTree {
 	for l := range leaves {
 		out.Leaves = append(out.Leaves, l)
 	}
-	sort.Slice(out.Leaves, func(a, b int) bool {
-		la, _ := out.Leaves[a].MortonRange(t.Order)
-		lb, _ := out.Leaves[b].MortonRange(t.Order)
-		return la < lb
+	slices.SortFunc(out.Leaves, func(a, b Cell) int {
+		la, _ := a.MortonRange(t.Order)
+		lb, _ := b.MortonRange(t.Order)
+		return cmp.Compare(la, lb)
 	})
 	out.starts = make([]uint64, len(out.Leaves))
 	out.Counts = make([]int, len(out.Leaves))
@@ -170,7 +172,7 @@ func RebuildBalanced(order uint, pts []geom.Point, maxPerLeaf int) *LinearTree {
 	for i, p := range pts {
 		codes[i] = sfc.Morton.Index(order, p)
 	}
-	sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+	slices.Sort(codes)
 	for _, code := range codes {
 		j := sort.Search(len(t.starts), func(k int) bool { return t.starts[k] > code }) - 1
 		t.Counts[j]++

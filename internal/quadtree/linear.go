@@ -2,6 +2,7 @@ package quadtree
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"sfcacd/internal/geom"
@@ -99,7 +100,7 @@ func BuildLinear(order uint, pts []geom.Point, maxPerLeaf int) *LinearTree {
 	for i, p := range pts {
 		codes[i] = sfc.Morton.Index(order, p)
 	}
-	sort.Slice(codes, func(a, b int) bool { return codes[a] < codes[b] })
+	slices.Sort(codes)
 	t := &LinearTree{Order: order}
 	t.refine(Root, codes, maxPerLeaf)
 	t.starts = make([]uint64, len(t.Leaves))

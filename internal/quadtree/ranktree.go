@@ -7,6 +7,7 @@ package quadtree
 
 import (
 	"fmt"
+	"sync"
 
 	"sfcacd/internal/geom"
 	"sfcacd/internal/obs"
@@ -23,8 +24,32 @@ import (
 type RankTree struct {
 	// Order is the finest level (grid side 2^Order).
 	Order uint
-	// levels[l] holds 4^l entries indexed by y*2^l + x.
+	// levels[l] holds 4^l entries indexed by y*2^l + x. All levels are
+	// windows into slab, one pooled allocation per tree.
 	levels [][]int32
+	slab   []int32
+}
+
+// slabPool recycles rank-tree slabs between builds. A tree of order k
+// needs (4^(k+1)-1)/3 cells across all levels; parallel sweep cells
+// each build one, so pooling keeps the allocator out of the sweep's
+// hot path. Slabs come back via RankTree.Release.
+var slabPool = sync.Pool{New: func() any { return new([]int32) }}
+
+// Release returns the tree's level storage to the build pool. The tree
+// must not be used afterwards. Only owners that know the tree is dead
+// (the sweep scheduler's cells) should call it; other callers can
+// leave the slab to the garbage collector.
+func (t *RankTree) Release() {
+	if t == nil || t.slab == nil {
+		return
+	}
+	s := t.slab
+	t.slab = nil
+	t.levels = nil
+	p := slabPool.Get().(*[]int32)
+	*p = s
+	slabPool.Put(p)
 }
 
 // BuildRankTree constructs the representative tree from particle cells
@@ -35,13 +60,26 @@ func BuildRankTree(order uint, pts []geom.Point, ranks []int32) *RankTree {
 		panic("quadtree: pts and ranks length mismatch")
 	}
 	defer obs.StartSpan("treebuild").End()
-	t := &RankTree{Order: order, levels: make([][]int32, order+1)}
+	// One slab holds every level: 1 + 4 + ... + 4^order cells.
+	total := (geom.Cells(order)*4 - 1) / 3
+	p := slabPool.Get().(*[]int32)
+	slab := *p
+	*p = nil
+	slabPool.Put(p)
+	if uint64(cap(slab)) < total {
+		slab = make([]int32, total)
+	}
+	slab = slab[:total]
+	slab[0] = -1
+	for i := 1; i < len(slab); i *= 2 {
+		copy(slab[i:], slab[:i])
+	}
+	t := &RankTree{Order: order, levels: make([][]int32, order+1), slab: slab}
+	off := uint64(0)
 	for l := uint(0); l <= order; l++ {
-		lv := make([]int32, geom.Cells(l))
-		for i := range lv {
-			lv[i] = -1
-		}
-		t.levels[l] = lv
+		sz := geom.Cells(l)
+		t.levels[l] = slab[off : off+sz : off+sz]
+		off += sz
 	}
 	// Finest level directly from the particles.
 	finest := t.levels[order]

@@ -1,0 +1,61 @@
+package quadtree
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"testing"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+)
+
+func benchPoints(n int, order uint) []geom.Point {
+	r := rng.New(uint64(n))
+	side := geom.Side(order)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Uint32n(side), r.Uint32n(side))
+	}
+	return pts
+}
+
+// BenchmarkCodeSort isolates the Morton-code sort that dominates
+// BuildLinear/RebuildBalanced setup: slices.Sort (current) against the
+// sort.Slice call it replaced.
+func BenchmarkCodeSort(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		pts := benchPoints(n, 10)
+		codes := make([]uint64, n)
+		for i, p := range pts {
+			codes[i] = sfc.Morton.Index(10, p)
+		}
+		scratch := make([]uint64, n)
+		b.Run(fmt.Sprintf("slices/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(scratch, codes)
+				slices.Sort(scratch)
+			}
+		})
+		b.Run(fmt.Sprintf("stdlib/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(scratch, codes)
+				sort.Slice(scratch, func(a, c int) bool { return scratch[a] < scratch[c] })
+			}
+		})
+	}
+}
+
+// BenchmarkBuildLinear covers the whole tree build, sort included.
+func BenchmarkBuildLinear(b *testing.B) {
+	for _, n := range []int{1_000, 100_000} {
+		pts := benchPoints(n, 10)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BuildLinear(10, pts, 4)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -71,12 +72,18 @@ func TestHandlerPresetMerge(t *testing.T) {
 	}
 	h := NewHandler(s)
 
+	// Unset Workers is defaulted by compute (machine split across the
+	// server's slots); with Workers:1 slots that is GOMAXPROCS.
+	defaultedWorkers := runtime.GOMAXPROCS(0)
+
 	// Empty body: the scaled preset runs as-is.
 	rec := postExperiment(t, h, "/v1/experiments/table12", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("empty body status %d: %s", rec.Code, rec.Body)
 	}
-	if want := experiments.Table12Paper.Scale(defaultScaleSteps); got != want {
+	want := experiments.Table12Paper.Scale(defaultScaleSteps)
+	want.Workers = defaultedWorkers
+	if got != want {
 		t.Errorf("empty body ran %+v, want scaled preset %+v", got, want)
 	}
 
@@ -85,8 +92,9 @@ func TestHandlerPresetMerge(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("preset=paper status %d: %s", rec.Code, rec.Body)
 	}
-	want := experiments.Table12Paper
+	want = experiments.Table12Paper
 	want.Trials = 1
+	want.Workers = defaultedWorkers
 	if got != want {
 		t.Errorf("preset=paper with override ran %+v, want %+v", got, want)
 	}

@@ -356,6 +356,17 @@ func (s *Server) abandon(c *call) {
 // compute runs one admitted computation and broadcasts its outcome.
 func (s *Server) compute(ctx context.Context, c *call, spec experiments.Spec, p experiments.Params) {
 	defer c.cancel()
+	if p.Workers == 0 {
+		// Split the machine across the server's compute slots so s.workers
+		// concurrent sweeps don't each grab GOMAXPROCS goroutines.
+		// Workers is excluded from the canonical key, so this never
+		// affects cache identity.
+		if w := runtime.GOMAXPROCS(0) / s.workers; w > 1 {
+			p.Workers = w
+		} else {
+			p.Workers = 1
+		}
+	}
 	depth := s.queued.Add(1)
 	s.queueGauge.SetMax(float64(depth))
 	if depth > int64(s.workers+s.maxQueue) {

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"sfcacd/internal/experiments"
+)
+
+// TestComputeDefaultsWorkers checks the machine split: a request that
+// leaves Workers at zero is computed with GOMAXPROCS/s.workers sweep
+// workers (floored at 1), so concurrent server computations don't each
+// oversubscribe the whole machine.
+func TestComputeDefaultsWorkers(t *testing.T) {
+	s := New(Options{Workers: 2})
+	var got int
+	s.runFn = func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
+		got = p.Workers
+		return fakeOutput(p), nil
+	}
+	if _, err := s.Do(context.Background(), "table12", tinyParams); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	want := runtime.GOMAXPROCS(0) / 2
+	if want < 1 {
+		want = 1
+	}
+	if got != want {
+		t.Errorf("defaulted p.Workers = %d, want %d", got, want)
+	}
+}
+
+// TestComputeKeepsExplicitWorkers checks that a request that pins
+// Workers is passed through untouched.
+func TestComputeKeepsExplicitWorkers(t *testing.T) {
+	s := New(Options{Workers: 2})
+	var got int
+	s.runFn = func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
+		got = p.Workers
+		return fakeOutput(p), nil
+	}
+	p := tinyParams
+	p.Workers = 3
+	if _, err := s.Do(context.Background(), "table12", p); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got != 3 {
+		t.Errorf("explicit p.Workers = %d, want 3", got)
+	}
+}

@@ -119,6 +119,15 @@ func Names() []string {
 // at most one particle; duplicate cells, if present, keep their input
 // order (the sort is stable).
 func SortPoints(c Curve, order uint, pts []geom.Point) []int {
+	perm, _ := SortPointsKeys(c, order, pts)
+	return perm
+}
+
+// SortPointsKeys is SortPoints but also returns the curve keys it
+// computed (keys[i] is the index of pts[i], input order — not sorted),
+// so callers that need the keys afterwards, like acd.Assign's
+// duplicate-cell detection, avoid re-encoding every particle.
+func SortPointsKeys(c Curve, order uint, pts []geom.Point) ([]int, []uint64) {
 	keys := make([]uint64, len(pts))
 	for i, p := range pts {
 		keys[i] = c.Index(order, p)
@@ -127,8 +136,8 @@ func SortPoints(c Curve, order uint, pts []geom.Point) []int {
 	for i := range perm {
 		perm[i] = i
 	}
-	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
-	return perm
+	SortPermByKeys(perm, keys)
+	return perm, keys
 }
 
 // Walk calls fn for every position d = 0..4^order-1 with the cell the

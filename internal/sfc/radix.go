@@ -1,0 +1,96 @@
+package sfc
+
+import "sync"
+
+// radixCutoff is the size below which a binary-insertion-free simple
+// insertion sort beats setting up eight 256-entry histograms. 128 was
+// picked by BenchmarkSortPoints on small inputs; anything in 64..256
+// is within noise.
+const radixCutoff = 128
+
+// radixScratch pools the auxiliary permutation buffer used by the
+// ping-pong passes so concurrent sweep cells sorting repeatedly do not
+// fight the allocator.
+var radixScratch = sync.Pool{New: func() any { return new([]int) }}
+
+// SortPermByKeys stably sorts perm in place so that
+// keys[perm[0]] <= keys[perm[1]] <= ... . Equal keys keep their
+// relative order. It is an LSD radix sort on the full uint64 key
+// (eight byte passes, all eight histograms filled in one scan,
+// constant-byte passes skipped), falling back to insertion sort below
+// radixCutoff. perm must hold valid indices into keys; keys is not
+// modified.
+func SortPermByKeys(perm []int, keys []uint64) {
+	n := len(perm)
+	if n < 2 {
+		return
+	}
+	if n <= radixCutoff {
+		insertionByKeys(perm, keys)
+		return
+	}
+
+	// One scan fills the histogram of every byte position.
+	var counts [8][256]int32
+	for _, p := range perm {
+		k := keys[p]
+		counts[0][byte(k)]++
+		counts[1][byte(k>>8)]++
+		counts[2][byte(k>>16)]++
+		counts[3][byte(k>>24)]++
+		counts[4][byte(k>>32)]++
+		counts[5][byte(k>>40)]++
+		counts[6][byte(k>>48)]++
+		counts[7][byte(k>>56)]++
+	}
+
+	scratch := radixScratch.Get().(*[]int)
+	tmp := *scratch
+	if cap(tmp) < n {
+		tmp = make([]int, n)
+	}
+	tmp = tmp[:n]
+
+	src, dst := perm, tmp
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(pass * 8)
+		c := &counts[pass]
+		// If one bucket holds everything, every key shares this byte
+		// and the pass is the identity permutation: skip it. Curve
+		// keys of order k occupy 2k bits, so high passes are free.
+		if c[byte(keys[src[0]]>>shift)] == int32(n) {
+			continue
+		}
+		sum := int32(0)
+		for i := range c {
+			cnt := c[i]
+			c[i] = sum
+			sum += cnt
+		}
+		for _, p := range src {
+			b := byte(keys[p] >> shift)
+			dst[c[b]] = p
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &perm[0] {
+		copy(perm, src)
+	}
+	*scratch = tmp
+	radixScratch.Put(scratch)
+}
+
+// insertionByKeys is the small-n stable fallback.
+func insertionByKeys(perm []int, keys []uint64) {
+	for i := 1; i < len(perm); i++ {
+		p := perm[i]
+		k := keys[p]
+		j := i - 1
+		for j >= 0 && keys[perm[j]] > k {
+			perm[j+1] = perm[j]
+			j--
+		}
+		perm[j+1] = p
+	}
+}

@@ -1,0 +1,35 @@
+package sfc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSortPoints compares the radix permutation sort against the
+// stdlib stable comparator sort it replaced, on the uint64 curve keys
+// the ordering phase actually sorts.
+func BenchmarkSortPoints(b *testing.B) {
+	for _, n := range []int{1_000, 100_000, 1_000_000} {
+		keys := randomKeys(n, 1<<52, uint64(n))
+		b.Run(fmt.Sprintf("radix/n=%d", n), func(b *testing.B) {
+			perm := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range perm {
+					perm[j] = j
+				}
+				SortPermByKeys(perm, keys)
+			}
+		})
+		b.Run(fmt.Sprintf("stdlib/n=%d", n), func(b *testing.B) {
+			perm := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range perm {
+					perm[j] = j
+				}
+				oracleSort(perm, keys)
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package sfc
+
+import (
+	"sort"
+	"testing"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/rng"
+)
+
+// oracleSort is the stdlib implementation the radix sort replaced:
+// a stable comparator sort of the permutation by key.
+func oracleSort(perm []int, keys []uint64) {
+	sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+}
+
+func randomKeys(n int, spread uint64, seed uint64) []uint64 {
+	r := rng.New(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64() % spread
+	}
+	return keys
+}
+
+func identity(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
+}
+
+// TestSortPermByKeysMatchesOracle compares the radix sort against the
+// stdlib stable sort across sizes straddling the insertion cutoff,
+// key spreads dense enough to force duplicates (the stability-visible
+// case), and degenerate orders.
+func TestSortPermByKeysMatchesOracle(t *testing.T) {
+	sizes := []int{0, 1, 2, 17, radixCutoff - 1, radixCutoff, radixCutoff + 1, 1000, 5000}
+	spreads := []uint64{1, 7, 1 << 8, 1 << 16, 1 << 40, 1 << 63}
+	for _, n := range sizes {
+		for _, spread := range spreads {
+			keys := randomKeys(n, spread, uint64(n)*31+spread)
+			got := identity(n)
+			want := identity(n)
+			SortPermByKeys(got, keys)
+			oracleSort(want, keys)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d spread=%d: perm[%d] = %d, want %d (stability or ordering broken)",
+						n, spread, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSortPermByKeysPresorted checks already-sorted and reverse-sorted
+// inputs, which exercise the trivial-pass skip.
+func TestSortPermByKeysPresorted(t *testing.T) {
+	n := 3000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) << 20 // only bytes 2..4 vary: most passes trivial
+	}
+	got := identity(n)
+	SortPermByKeys(got, keys)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("sorted input permuted: perm[%d] = %d", i, got[i])
+		}
+	}
+	for i := range keys {
+		keys[i] = uint64(n-i) << 20
+	}
+	got = identity(n)
+	want := identity(n)
+	SortPermByKeys(got, keys)
+	oracleSort(want, keys)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("reverse input: perm[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSortPermByKeysAllEqual pins stability directly: equal keys must
+// keep input order.
+func TestSortPermByKeysAllEqual(t *testing.T) {
+	for _, n := range []int{radixCutoff / 2, radixCutoff * 4} {
+		keys := make([]uint64, n)
+		got := identity(n)
+		SortPermByKeys(got, keys)
+		for i := range got {
+			if got[i] != i {
+				t.Fatalf("n=%d: equal keys reordered: perm[%d] = %d", n, i, got[i])
+			}
+		}
+	}
+}
+
+// TestSortPointsKeysReturnsInputOrderKeys checks the second return
+// value: keys indexed by input position, matching curve.Index.
+func TestSortPointsKeysReturnsInputOrderKeys(t *testing.T) {
+	c, _ := ByName("hilbert")
+	const order = 5
+	r := rng.New(99)
+	side := geom.Side(order)
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Uint32n(side), r.Uint32n(side))
+	}
+	perm, keys := SortPointsKeys(c, order, pts)
+	if len(perm) != len(pts) || len(keys) != len(pts) {
+		t.Fatalf("lengths: perm=%d keys=%d, want %d", len(perm), len(keys), len(pts))
+	}
+	for i, p := range pts {
+		if want := c.Index(order, p); keys[i] != want {
+			t.Fatalf("keys[%d] = %d, want Index = %d", i, keys[i], want)
+		}
+	}
+	for i := 1; i < len(perm); i++ {
+		a, b := keys[perm[i-1]], keys[perm[i]]
+		if a > b {
+			t.Fatalf("perm not sorted at %d: %d > %d", i, a, b)
+		}
+		if a == b && perm[i-1] > perm[i] {
+			t.Fatalf("perm not stable at %d", i)
+		}
+	}
+}
