@@ -18,8 +18,16 @@
 //	                              manifest out, X-Cache: hit|miss|coalesced
 //	GET  /v1/experiments          registry listing
 //	GET  /healthz                 liveness
-//	GET  /metrics                 obs metric snapshot
+//	GET  /readyz                  readiness (503 once shutdown begins)
+//	GET  /metrics                 Prometheus text exposition (JSON via
+//	                              Accept: application/json or /metrics.json)
+//	GET  /debug/traces            tail-sampled trace index
+//	GET  /debug/traces/{id}       one request's span tree
 //	GET  /debug/pprof/            pprof handlers
+//
+// Every request is traced: responses carry X-Trace-Id (honored from
+// the request header when present), request logs carry trace_id, and
+// errored/slow/sampled traces are retained for /debug/traces.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"sfcacd/internal/faultinject"
+	"sfcacd/internal/obs/tracestore"
 	"sfcacd/internal/resultcache"
 	"sfcacd/internal/serve"
 )
@@ -53,7 +62,15 @@ func run() int {
 		faults = flag.String("faults", "",
 			"fault-injection spec, comma-separated site=prob[:delay] (e.g. resultcache.disk.get=0.1,serve.compute=1:250ms)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector")
-		verbose   = flag.Bool("v", false, "enable debug-level logging")
+		traceCap  = flag.Int("trace-capacity", tracestore.DefaultCapacity,
+			"retained error/sampled traces for /debug/traces")
+		traceSlow = flag.Int("trace-slowest", tracestore.DefaultSlowestK,
+			"always-retained slowest traces (negative disables)")
+		traceProb = flag.Float64("trace-sample", tracestore.DefaultSampleProb,
+			"keep probability for healthy traces (negative disables)")
+		traceSeed = flag.Uint64("trace-seed", 0,
+			"seed for the trace sampling/ID streams (0 = from the clock)")
+		verbose = flag.Bool("v", false, "enable debug-level logging")
 	)
 	flag.Parse()
 
@@ -78,6 +95,12 @@ func run() int {
 		CacheBytes:     *cacheBytes,
 		ComputeTimeout: *computeTO,
 		Faults:         injector,
+		Traces: tracestore.New(tracestore.Options{
+			Capacity:   *traceCap,
+			SlowestK:   *traceSlow,
+			SampleProb: *traceProb,
+			Seed:       *traceSeed,
+		}),
 	}
 	if *cacheDir != "" {
 		disk, err := resultcache.OpenDisk(*cacheDir)
@@ -119,6 +142,7 @@ func run() int {
 	// either is an unclean stop and must exit nonzero so orchestrators
 	// notice, instead of reporting a drained shutdown that wasn't.
 	logger.Info("shutting down")
+	server.SetDraining() // flips /readyz to 503 so balancers stop routing here
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
@@ -133,15 +157,23 @@ func run() int {
 	return 0
 }
 
-// logRequests logs one line per completed request at debug level.
+// logRequests logs one line per completed request: debug level for
+// 2xx, info for everything else, so failures surface without -v. The
+// trace_id field joins the log line to /debug/traces/{id}.
 func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		logger.Debug("request",
+		level := slog.LevelDebug
+		if rec.status < 200 || rec.status >= 300 {
+			level = slog.LevelInfo
+		}
+		logger.Log(r.Context(), level, "request",
 			"method", r.Method, "path", r.URL.Path, "status", rec.status,
-			"cache", rec.Header().Get("X-Cache"), "dur", time.Since(start).Round(time.Microsecond))
+			"cache", rec.Header().Get("X-Cache"),
+			"trace_id", rec.Header().Get("X-Trace-Id"),
+			"dur", time.Since(start).Round(time.Microsecond))
 	})
 }
 

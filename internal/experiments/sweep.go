@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -82,6 +83,8 @@ func runCells(ctx context.Context, workers, cells int, run func(cell int) error)
 	sweepWorkersGauge.Set(float64(workers))
 	span := obs.StartSpan("sweep")
 	defer span.End()
+	span.Annotate("cells", strconv.Itoa(cells))
+	span.Annotate("workers", strconv.Itoa(workers))
 	if workers <= 1 {
 		for i := 0; i < cells; i++ {
 			if err := ctx.Err(); err != nil {

@@ -150,6 +150,10 @@ func (in *Injector) decide(name string) (Fault, bool) {
 	}
 	s.injected.Inc()
 	in.total.Inc()
+	// Mark the hit on the goroutine's active trace (if any), so a
+	// request whose slowness came from an injected fault shows the
+	// fault site in its span tree.
+	obs.MarkActive("fault." + name)
 	return s.fault, true
 }
 

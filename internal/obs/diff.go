@@ -1,10 +1,16 @@
 package obs
 
 // Sub returns the change from prev to s: counters and histogram
-// observation counts subtract (clamped at zero, so a Reset between
-// the two snapshots cannot produce wrapped values), while gauges and
-// histogram min/max keep their current values, since last-value
-// metrics have no meaningful delta.
+// counts/sums subtract, while gauges and histogram min/max keep their
+// current values, since last-value metrics have no meaningful delta.
+//
+// A Reset between the two snapshots makes a true delta unknowable;
+// every affected metric then clamps to zero the same way. A counter
+// that went backwards reports 0, and a histogram any of whose fields
+// went backwards (total count, a bucket count, or the sum) reports an
+// all-zero delta — never the earlier mix of some fields subtracted
+// and others falling back to their full current values, which could
+// fabricate a histogram whose Sum disagreed with its Count.
 //
 // The serving layer uses Sub to attribute process-wide metrics to one
 // computation by snapshotting around it. That attribution is exact
@@ -37,23 +43,38 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 				d.Histograms[name] = h
 				continue
 			}
-			diff := h
-			if old.Count <= h.Count {
-				diff.Count = h.Count - old.Count
-			}
-			diff.Counts = make([]uint64, len(h.Counts))
-			for i, c := range h.Counts {
-				if i < len(old.Counts) && old.Counts[i] <= c {
-					diff.Counts[i] = c - old.Counts[i]
-				} else {
-					diff.Counts[i] = c
-				}
-			}
-			if h.Sum >= old.Sum {
-				diff.Sum = h.Sum - old.Sum
-			}
-			d.Histograms[name] = diff
+			d.Histograms[name] = subHistogram(h, old)
 		}
 	}
 	return d
+}
+
+// subHistogram subtracts one histogram snapshot from a later one,
+// clamping the whole delta to zero when any field regressed (the
+// registry was Reset in between). Min/Max keep the current window.
+func subHistogram(h, old HistogramSnapshot) HistogramSnapshot {
+	diff := h
+	reset := h.Count < old.Count || h.Sum < old.Sum
+	diff.Counts = make([]uint64, len(h.Counts))
+	for i, c := range h.Counts {
+		if i < len(old.Counts) {
+			if c < old.Counts[i] {
+				reset = true
+			} else {
+				diff.Counts[i] = c - old.Counts[i]
+			}
+		} else {
+			diff.Counts[i] = c
+		}
+	}
+	if reset {
+		diff.Count, diff.Sum = 0, 0
+		for i := range diff.Counts {
+			diff.Counts[i] = 0
+		}
+		return diff
+	}
+	diff.Count = h.Count - old.Count
+	diff.Sum = h.Sum - old.Sum
+	return diff
 }

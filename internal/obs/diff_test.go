@@ -52,6 +52,73 @@ func TestSnapshotSubHistograms(t *testing.T) {
 	}
 }
 
+// TestSnapshotSubHistogramReset: any regressed histogram field means a
+// Reset happened between the snapshots, and the whole delta clamps to
+// zero — never a mix of subtracted and carried-over fields that would
+// fabricate a histogram whose buckets disagree with its Count.
+func TestSnapshotSubHistogramReset(t *testing.T) {
+	prev := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 10, Sum: 500, Counts: []uint64{4, 6}},
+	}}
+	cases := map[string]HistogramSnapshot{
+		"count regressed":  {Count: 3, Sum: 600, Counts: []uint64{4, 6}},
+		"sum regressed":    {Count: 12, Sum: 100, Counts: []uint64{5, 7}},
+		"bucket regressed": {Count: 12, Sum: 600, Counts: []uint64{2, 10}},
+	}
+	for name, cur := range cases {
+		d := (Snapshot{Histograms: map[string]HistogramSnapshot{"h": cur}}).Sub(prev)
+		h := d.Histograms["h"]
+		if h.Count != 0 || h.Sum != 0 {
+			t.Errorf("%s: delta count/sum = %d/%v, want 0/0", name, h.Count, h.Sum)
+		}
+		for i, c := range h.Counts {
+			if c != 0 {
+				t.Errorf("%s: bucket %d delta = %d, want 0", name, i, c)
+			}
+		}
+		var total uint64
+		for _, c := range h.Counts {
+			total += c
+		}
+		if total != h.Count {
+			t.Errorf("%s: inconsistent delta: buckets sum to %d, Count is %d", name, total, h.Count)
+		}
+	}
+}
+
+// TestSnapshotSubAfterRegistryReset runs the real sequence the clamp
+// exists for: snapshot, Reset, less activity, snapshot — the delta
+// must clamp counters and histograms the same way.
+func TestSnapshotSubAfterRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.GetCounter("work.items")
+	h := r.GetHistogram("work.latency", []float64{10, 100})
+	c.Add(100)
+	for i := 0; i < 8; i++ {
+		h.Observe(50)
+	}
+	before := r.Snapshot()
+
+	r.Reset()
+	c.Add(2)
+	h.Observe(5)
+	after := r.Snapshot()
+
+	d := after.Sub(before)
+	if d.Counters["work.items"] != 0 {
+		t.Errorf("counter delta across Reset = %d, want 0", d.Counters["work.items"])
+	}
+	hd := d.Histograms["work.latency"]
+	if hd.Count != 0 || hd.Sum != 0 {
+		t.Errorf("histogram delta across Reset = count %d sum %v, want zeros", hd.Count, hd.Sum)
+	}
+	for i, v := range hd.Counts {
+		if v != 0 {
+			t.Errorf("bucket %d delta across Reset = %d, want 0", i, v)
+		}
+	}
+}
+
 func TestSnapshotSubEmpty(t *testing.T) {
 	d := (Snapshot{}).Sub(Snapshot{})
 	if d.Counters != nil || d.Gauges != nil || d.Histograms != nil {

@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4), so the registry can be scraped by standard
+// collectors while the JSON snapshot stays available for manifests.
+//
+// The registry itself is label-free: a metric is one flat name. Label
+// sets ride along through a naming convention — LabeledName packs
+// sorted, escaped labels into the name ("serve.errors{class=\"timeout\"}"),
+// the registry treats the whole string as opaque, and the writer here
+// splits it back into a metric family plus a label block. The JSON
+// snapshot keys keep the full packed name, so the two formats expose
+// the same series under systematically related names.
+//
+// Name mapping: '.' and any other character outside [a-zA-Z0-9_:]
+// becomes '_'; counter families additionally get the conventional
+// "_total" suffix. "serve.requests" therefore scrapes as
+// "serve_requests_total" and appears in JSON as "serve.requests".
+
+// LabeledName returns `name{k1="v1",k2="v2"}` with keys sorted and
+// values escaped per the exposition rules, for registering one labeled
+// series of a metric family:
+//
+//	obs.GetCounter(obs.LabeledName("serve.errors", "class", "timeout")).Inc()
+//
+// Keys must already be valid label names ([a-zA-Z_][a-zA-Z0-9_]*);
+// values may be arbitrary strings. kv alternates key, value and must
+// have even length.
+func LabeledName(name string, kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: LabeledName needs alternating key, value pairs")
+	}
+	if len(kv) == 0 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline, the
+// three characters the text format requires escaped in label values.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitLabeledName splits a registry name into its base name and the
+// label block (without braces; empty when the name carries no labels).
+func splitLabeledName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// sanitizeMetricName maps a registry base name onto the exposition
+// charset [a-zA-Z0-9_:], replacing everything else with '_' and
+// prefixing a leading digit.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample or bound value the way Prometheus
+// expects: shortest round-trip representation, "+Inf"/"-Inf"/"NaN"
+// spelled in exposition style.
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	switch s {
+	case "+Inf", "Inf":
+		return "+Inf"
+	case "-Inf":
+		return "-Inf"
+	}
+	return s
+}
+
+// series is one labeled instance of a metric family.
+type series struct {
+	labels string
+	value  float64
+	hist   *HistogramSnapshot
+}
+
+// family groups every series sharing a sanitized family name.
+type family struct {
+	name   string // sanitized exposition name
+	kind   string // counter | gauge | histogram
+	series []series
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format: one "# TYPE" line per metric family followed by
+// its series sorted by label block. Histograms emit cumulative
+// "_bucket" lines (le upper bounds plus "+Inf"), "_sum", and "_count";
+// the +Inf bucket, _count, and the sum over per-bucket counts agree by
+// construction. Min/Max have no exposition equivalent and are only in
+// the JSON snapshot.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var fams []*family
+	byName := make(map[string]*family)
+	add := func(rawName, kind, suffix string, val float64, hist *HistogramSnapshot) {
+		base, labels := splitLabeledName(rawName)
+		name := sanitizeMetricName(base) + suffix
+		f, ok := byName[name]
+		if !ok {
+			f = &family{name: name, kind: kind}
+			byName[name] = f
+			fams = append(fams, f)
+		}
+		f.series = append(f.series, series{labels: labels, value: val, hist: hist})
+	}
+	for name, v := range s.Counters {
+		add(name, "counter", "_total", float64(v), nil)
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", "", v, nil)
+	}
+	for name := range s.Histograms {
+		h := s.Histograms[name]
+		add(name, "histogram", "", 0, &h)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, sr := range f.series {
+			var err error
+			if f.kind == "histogram" {
+				err = writeHistogramSeries(w, f.name, sr.labels, sr.hist)
+			} else {
+				_, err = fmt.Fprintf(w, "%s %s\n", seriesName(f.name, sr.labels), formatFloat(sr.value))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seriesName joins a family name with a label block.
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// withLabel appends one more label to a (possibly empty) label block.
+func withLabel(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// writeHistogramSeries emits the _bucket/_sum/_count lines of one
+// labeled histogram. Bucket counts in the snapshot are per-bucket;
+// the exposition needs cumulative counts, accumulated here. The +Inf
+// bucket and _count both use the accumulated total, so the invariants
+// parsers check (monotone buckets, +Inf == _count) hold even if the
+// snapshot raced concurrent observations.
+func writeHistogramSeries(w io.Writer, name, labels string, h *HistogramSnapshot) error {
+	var cum uint64
+	for i, bound := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		le := withLabel(labels, `le="`+formatFloat(bound)+`"`)
+		if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", le), cum); err != nil {
+			return err
+		}
+	}
+	// Overflow bucket: everything above the last bound.
+	for i := len(h.Bounds); i < len(h.Counts); i++ {
+		cum += h.Counts[i]
+	}
+	le := withLabel(labels, `le="+Inf"`)
+	if _, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", le), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", labels), formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", labels), cum)
+	return err
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestLabeledName(t *testing.T) {
+	cases := []struct {
+		name string
+		kv   []string
+		want string
+	}{
+		{"serve.requests", nil, "serve.requests"},
+		{"serve.errors", []string{"class", "timeout"}, `serve.errors{class="timeout"}`},
+		// Keys sort, so equal label sets produce equal registry names
+		// regardless of call-site argument order.
+		{"m", []string{"b", "2", "a", "1"}, `m{a="1",b="2"}`},
+		{"m", []string{"a", "1", "b", "2"}, `m{a="1",b="2"}`},
+		// Escaping: backslash, quote, newline.
+		{"m", []string{"k", `a"b\c` + "\n"}, `m{k="a\"b\\c\n"}`},
+	}
+	for _, tc := range cases {
+		if got := LabeledName(tc.name, tc.kv...); got != tc.want {
+			t.Errorf("LabeledName(%q, %v) = %q, want %q", tc.name, tc.kv, got, tc.want)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("odd kv did not panic")
+		}
+	}()
+	LabeledName("m", "key-without-value")
+}
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string // full series name including label block
+	value  float64
+	family string
+}
+
+// parseExposition is a strict mini-parser for the text format: it
+// checks line shape, records # TYPE declarations, and rejects samples
+// whose family was never declared or declared twice.
+func parseExposition(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			name, kind := fields[2], fields[3]
+			if _, dup := types[name]; dup {
+				t.Fatalf("family %s declared twice", name)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("unknown kind %q in %q", kind, line)
+			}
+			types[name] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "series value": the series name may contain spaces only
+		// inside a label block.
+		sep := strings.LastIndexByte(line, ' ')
+		if sep < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, valStr := line[:sep], line[sep+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				t.Fatalf("unbalanced label block in %q", line)
+			}
+			base = base[:i]
+		}
+		family := base
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(base, suffix)
+			if trimmed != base && types[trimmed] == "histogram" {
+				family = trimmed
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Fatalf("sample %q precedes or lacks its TYPE declaration", line)
+		}
+		samples = append(samples, promSample{name: name, value: val, family: family})
+	}
+	return types, samples
+}
+
+func sampleValue(t *testing.T, samples []promSample, name string) float64 {
+	t.Helper()
+	for _, s := range samples {
+		if s.name == name {
+			return s.value
+		}
+	}
+	t.Fatalf("no sample named %q", name)
+	return 0
+}
+
+func TestWritePrometheusAgainstJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.GetCounter("serve.requests").Add(7)
+	r.GetCounter(LabeledName("serve.errors", "class", "timeout")).Add(2)
+	r.GetCounter(LabeledName("serve.errors", "class", "overload")).Add(3)
+	r.GetGauge("serve.inflight").Set(1.5)
+	h := r.GetHistogram(LabeledName("serve.latency_ns", "cache", "miss"), []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	types, samples := parseExposition(t, text)
+
+	if types["serve_requests_total"] != "counter" {
+		t.Errorf("serve_requests_total type = %q", types["serve_requests_total"])
+	}
+	if types["serve_inflight"] != "gauge" {
+		t.Errorf("serve_inflight type = %q", types["serve_inflight"])
+	}
+	if types["serve_latency_ns"] != "histogram" {
+		t.Errorf("serve_latency_ns type = %q", types["serve_latency_ns"])
+	}
+
+	// Counter samples agree with the JSON snapshot (same registry
+	// state, two renderings).
+	if v := sampleValue(t, samples, "serve_requests_total"); v != float64(snap.Counters["serve.requests"]) {
+		t.Errorf("serve_requests_total = %v, snapshot says %d", v, snap.Counters["serve.requests"])
+	}
+	if v := sampleValue(t, samples, `serve_errors_total{class="timeout"}`); v != 2 {
+		t.Errorf("timeout errors = %v, want 2", v)
+	}
+	if v := sampleValue(t, samples, `serve_errors_total{class="overload"}`); v != 3 {
+		t.Errorf("overload errors = %v, want 3", v)
+	}
+	if v := sampleValue(t, samples, "serve_inflight"); v != 1.5 {
+		t.Errorf("gauge = %v", v)
+	}
+
+	// Histogram invariants: cumulative buckets, +Inf == _count, and
+	// _sum/_count agreeing with the JSON snapshot.
+	hs := snap.Histograms[LabeledName("serve.latency_ns", "cache", "miss")]
+	var prev float64
+	for _, le := range []string{"10", "100", "1000", "+Inf"} {
+		v := sampleValue(t, samples, fmt.Sprintf(`serve_latency_ns_bucket{cache="miss",le="%s"}`, le))
+		if v < prev {
+			t.Errorf("bucket le=%s count %v below previous %v (not cumulative)", le, v, prev)
+		}
+		prev = v
+	}
+	inf := sampleValue(t, samples, `serve_latency_ns_bucket{cache="miss",le="+Inf"}`)
+	count := sampleValue(t, samples, `serve_latency_ns_count{cache="miss"}`)
+	if inf != count {
+		t.Errorf("+Inf bucket %v != _count %v", inf, count)
+	}
+	if count != float64(hs.Count) {
+		t.Errorf("_count %v != snapshot count %d", count, hs.Count)
+	}
+	if sum := sampleValue(t, samples, `serve_latency_ns_sum{cache="miss"}`); sum != hs.Sum {
+		t.Errorf("_sum %v != snapshot sum %v", sum, hs.Sum)
+	}
+	if v := sampleValue(t, samples, `serve_latency_ns_bucket{cache="miss",le="10"}`); v != 1 {
+		t.Errorf("le=10 bucket = %v, want 1", v)
+	}
+	if v := sampleValue(t, samples, `serve_latency_ns_bucket{cache="miss",le="100"}`); v != 3 {
+		t.Errorf("le=100 bucket = %v, want 3", v)
+	}
+}
+
+func TestWritePrometheusEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.GetCounter(LabeledName("weird.metric", "path", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `weird_metric_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition %q missing escaped series %q", buf.String(), want)
+	}
+	if strings.Contains(buf.String(), "\n\n") || strings.Count(buf.String(), "weird_metric_total") != 2 {
+		// Name appears once in TYPE, once in the sample; a raw newline
+		// in a label value would add a third, broken line.
+		t.Errorf("escaping left a malformed exposition:\n%s", buf.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.request_latency_ns": "serve_request_latency_ns",
+		"sweep.cells":              "sweep_cells",
+		"9lives":                   "_9lives",
+		"ok:name_1":                "ok:name_1",
+		"sp ace-dash":              "sp_ace_dash",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentSameName hammers first-use registration of the
+// same names from many goroutines: every caller must get the same
+// metric instance (updates from all of them fold into one value), with
+// no data race on the registration maps. Run under -race in CI.
+func TestRegistryConcurrentSameName(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{1, 10, 100}
+	const goroutines = 32
+
+	var wg sync.WaitGroup
+	counters := make([]*Counter, goroutines)
+	gauges := make([]*Gauge, goroutines)
+	hists := make([]*Histogram, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			counters[i] = r.GetCounter("race.counter")
+			counters[i].Inc()
+			gauges[i] = r.GetGauge("race.gauge")
+			gauges[i].Set(float64(i))
+			hists[i] = r.GetHistogram("race.hist", bounds)
+			hists[i].Observe(float64(i))
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < goroutines; i++ {
+		if counters[i] != counters[0] {
+			t.Fatalf("goroutine %d got a distinct counter instance", i)
+		}
+		if gauges[i] != gauges[0] {
+			t.Fatalf("goroutine %d got a distinct gauge instance", i)
+		}
+		if hists[i] != hists[0] {
+			t.Fatalf("goroutine %d got a distinct histogram instance", i)
+		}
+	}
+	if v := counters[0].Value(); v != goroutines {
+		t.Errorf("counter = %d, want %d (all increments on one instance)", v, goroutines)
+	}
+	if hs := hists[0].Snapshot(); hs.Count != goroutines {
+		t.Errorf("histogram count = %d, want %d", hs.Count, goroutines)
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,6 +46,9 @@ type phase struct {
 	parent   *phase
 	children []*phase
 	index    map[string]*phase
+	// attrs are key=value annotations set through Span.Annotate; on
+	// merged phases the last write per key wins.
+	attrs map[string]string
 }
 
 func (p *phase) child(name string) *phase {
@@ -92,6 +96,13 @@ func (t *Tracer) Start(name string) *Span {
 	if t.hasScopes() {
 		id = goid() // taken outside the lock: runtime.Stack is not free
 	}
+	return t.startID(name, id)
+}
+
+// startID is Start with the goroutine id (0 when unknown or
+// irrelevant) already resolved, so callers that looked it up for
+// binding dispatch do not pay for a second runtime.Stack.
+func (t *Tracer) startID(name string, id uint64) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	cur := t.current
@@ -125,20 +136,133 @@ func (t *Tracer) hasScopes() bool {
 // every worker attaches to the shared "sweep" span, and merged-by-name
 // children make the resulting tree independent of worker count and
 // scheduling. Call detach from the same goroutine when it is done.
+//
+// Attaching to a span of a non-default tracer additionally binds the
+// goroutine's package-level StartSpan and MarkActive calls to that
+// tracer (see StartSpan), which is how a request-scoped trace captures
+// the phases of library code that only knows the package-level API.
+// Detach restores whatever binding and cursor were in effect before.
 func (s *Span) Attach() (detach func()) {
 	t := s.t
 	id := goid()
 	t.mu.Lock()
+	gen := t.gen
 	if t.scopes == nil {
 		t.scopes = make(map[uint64]*scope)
 	}
+	prevScope, hadScope := t.scopes[id]
 	t.scopes[id] = &scope{current: s.node}
 	t.mu.Unlock()
+	var prevBind *Tracer
+	bound := t != defaultTracer
+	if bound {
+		prevBind = bindGoroutine(id, t)
+	}
 	return func() {
 		t.mu.Lock()
-		delete(t.scopes, id)
+		if t.gen == gen { // a Take since Attach already discarded the scopes
+			if hadScope {
+				t.scopes[id] = prevScope
+			} else {
+				delete(t.scopes, id)
+			}
+		}
 		t.mu.Unlock()
+		if bound {
+			unbindGoroutine(id, prevBind)
+		}
 	}
+}
+
+// Goroutine-to-tracer bindings let package-level StartSpan route to a
+// request-scoped tracer. The count is checked with one atomic load on
+// the (overwhelmingly common) unbound fast path, so instrumented
+// library code pays nothing extra when no request traces are live.
+var (
+	bindCount atomic.Int64
+	bindMu    sync.Mutex
+	bindings  map[uint64]*Tracer
+)
+
+// bindGoroutine binds the goroutine to t, returning the previous
+// binding (nil if none) for the caller to restore on detach.
+func bindGoroutine(id uint64, t *Tracer) (prev *Tracer) {
+	bindMu.Lock()
+	defer bindMu.Unlock()
+	if bindings == nil {
+		bindings = make(map[uint64]*Tracer)
+	}
+	prev = bindings[id]
+	bindings[id] = t
+	if prev == nil {
+		bindCount.Add(1)
+	}
+	return prev
+}
+
+// unbindGoroutine restores the goroutine's previous binding.
+func unbindGoroutine(id uint64, prev *Tracer) {
+	bindMu.Lock()
+	defer bindMu.Unlock()
+	if prev != nil {
+		bindings[id] = prev
+		return
+	}
+	delete(bindings, id)
+	bindCount.Add(-1)
+}
+
+// boundTracer returns the tracer the goroutine is bound to, or nil.
+func boundTracer(id uint64) *Tracer {
+	bindMu.Lock()
+	defer bindMu.Unlock()
+	return bindings[id]
+}
+
+// Annotate sets a key=value attribute on the span's phase node. On
+// merged phases the last write per key wins; annotating a span that
+// outlived a Take/Reset is a safe no-op.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gen != s.gen {
+		return
+	}
+	if s.node.attrs == nil {
+		s.node.attrs = make(map[string]string)
+	}
+	s.node.attrs[key] = value
+}
+
+// MarkActive records one zero-duration activation of the named phase
+// under the calling goroutine's bound cursor: the phase's call count
+// increments but no wall time is attributed. It is a no-op on an
+// unbound goroutine (one atomic load), so low-level packages — fault
+// injection, cache stores — can mark events unconditionally and the
+// marks appear only in request-scoped traces.
+func MarkActive(name string) {
+	if bindCount.Load() == 0 {
+		return
+	}
+	id := goid()
+	if id == 0 {
+		return
+	}
+	t := boundTracer(id)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.current
+	if sc, ok := t.scopes[id]; ok {
+		cur = sc.current
+	}
+	cur.child(name).calls++
 }
 
 // goid returns the runtime id of the calling goroutine, parsed from
@@ -193,12 +317,20 @@ type PhaseSnapshot struct {
 	Calls uint64 `json:"calls"`
 	// Ns is the summed wall-clock time of completed activations.
 	Ns int64 `json:"ns"`
+	// Attrs are the key=value annotations set through Span.Annotate.
+	Attrs map[string]string `json:"attrs,omitempty"`
 	// Children are nested phases in first-entered order.
 	Children []PhaseSnapshot `json:"children,omitempty"`
 }
 
 func snapshotPhase(p *phase) PhaseSnapshot {
 	s := PhaseSnapshot{Name: p.name, Calls: p.calls, Ns: p.ns}
+	if len(p.attrs) > 0 {
+		s.Attrs = make(map[string]string, len(p.attrs))
+		for k, v := range p.attrs {
+			s.Attrs[k] = v
+		}
+	}
 	for _, c := range p.children {
 		s.Children = append(s.Children, snapshotPhase(c))
 	}
@@ -230,8 +362,21 @@ func (t *Tracer) Take() []PhaseSnapshot {
 // Reset discards the phase tree.
 func (t *Tracer) Reset() { t.Take() }
 
-// StartSpan opens a phase on the default tracer.
-func StartSpan(name string) *Span { return defaultTracer.Start(name) }
+// StartSpan opens a phase on the default tracer — unless the calling
+// goroutine is bound to a request-scoped tracer through Span.Attach,
+// in which case the phase opens there instead. The bound check is one
+// atomic load when no bindings exist, so batch runs (acdbench) pay
+// nothing for the serving path's request tracing.
+func StartSpan(name string) *Span {
+	if bindCount.Load() > 0 {
+		if id := goid(); id != 0 {
+			if t := boundTracer(id); t != nil {
+				return t.startID(name, id)
+			}
+		}
+	}
+	return defaultTracer.Start(name)
+}
 
 // TakeSpans collects and clears the default tracer's phase tree.
 func TakeSpans() []PhaseSnapshot { return defaultTracer.Take() }

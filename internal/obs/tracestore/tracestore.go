@@ -1,0 +1,298 @@
+// Package tracestore retains a bounded set of completed request
+// traces under a tail-sampling policy: the decision to keep a trace
+// is made after the request finishes, when its status and duration
+// are known, so the interesting traces survive without paying to
+// store every request.
+//
+// Three keep classes, checked in order:
+//
+//   - Errors. Every trace that finished with a 5xx status (a 504
+//     deadline, a 503 overload, a 500) is kept, in a FIFO ring that
+//     evicts the oldest error/sampled trace when full.
+//   - Slowest-K. The K slowest traces seen so far are kept regardless
+//     of status, so the requests that consumed the most compute are
+//     always inspectable; a new slow trace displaces the fastest of
+//     the current K.
+//   - Probabilistic sample. Each remaining trace is kept with a
+//     configurable probability, giving a background sample of healthy
+//     traffic.
+//
+// Determinism: the sampling stream is an internal/rng generator
+// seeded at construction, and one decision is drawn per offered trace
+// whether or not it is needed — so given a fixed request sequence,
+// seed, and clock, the retained set replays exactly. Production
+// callers leave Seed zero (time-seeded); tests pin it.
+package tracestore
+
+import (
+	"encoding/hex"
+	"sort"
+	"sync"
+	"time"
+
+	"sfcacd/internal/obs"
+	"sfcacd/internal/rng"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultCapacity   = 256
+	DefaultSlowestK   = 32
+	DefaultSampleProb = 0.01
+)
+
+// Options configures a Store.
+type Options struct {
+	// Capacity bounds the error/sampled retention ring; 0 means
+	// DefaultCapacity.
+	Capacity int
+	// SlowestK bounds the always-kept slowest set; 0 means
+	// DefaultSlowestK, negative disables it.
+	SlowestK int
+	// SampleProb is the keep probability for traces not kept as
+	// errors or slowest; 0 means DefaultSampleProb, negative disables
+	// sampling.
+	SampleProb float64
+	// Seed seeds the sampling and ID streams; 0 derives a seed from
+	// the clock at construction (non-reproducible, fine in
+	// production). Tests set it for exact replay.
+	Seed uint64
+	// Now supplies timestamps for NewID uniqueness and the trace
+	// index; nil means time.Now. Tests inject a fixed clock.
+	Now func() time.Time
+}
+
+// keepReason labels why a trace was retained.
+type keepReason string
+
+const (
+	keptError   keepReason = "error"
+	keptSlowest keepReason = "slowest"
+	keptSampled keepReason = "sampled"
+)
+
+// entry is one retained trace and its membership bookkeeping.
+type entry struct {
+	tr     *obs.Trace
+	seq    uint64 // insertion order, for newest-first listing
+	dur    time.Duration
+	status int
+	inRing bool
+	inSlow bool
+	kept   []string
+}
+
+// Store is a thread-safe bounded retention set of completed traces.
+type Store struct {
+	now      func() time.Time
+	capacity int
+	slowestK int
+	prob     float64
+
+	mu   sync.Mutex
+	r    *rng.Rand
+	seq  uint64
+	ring []*entry // FIFO, oldest first
+	slow []*entry // sorted by duration ascending
+	byID map[string]*entry
+
+	offered, kept, errorsKept     *obs.Counter
+	slowKept, sampleKept, evicted *obs.Counter
+	retained                      *obs.Gauge
+}
+
+// New returns a Store with the given options.
+func New(o Options) *Store {
+	if o.Capacity == 0 {
+		o.Capacity = DefaultCapacity
+	}
+	if o.SlowestK == 0 {
+		o.SlowestK = DefaultSlowestK
+	}
+	if o.SampleProb == 0 {
+		o.SampleProb = DefaultSampleProb
+	}
+	now := o.Now
+	if now == nil {
+		now = time.Now
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = uint64(now().UnixNano())
+	}
+	return &Store{
+		now:        now,
+		capacity:   o.Capacity,
+		slowestK:   o.SlowestK,
+		prob:       o.SampleProb,
+		r:          rng.New(seed),
+		byID:       make(map[string]*entry),
+		offered:    obs.GetCounter("tracestore.offered"),
+		kept:       obs.GetCounter("tracestore.kept"),
+		errorsKept: obs.GetCounter(obs.LabeledName("tracestore.kept_by", "reason", string(keptError))),
+		slowKept:   obs.GetCounter(obs.LabeledName("tracestore.kept_by", "reason", string(keptSlowest))),
+		sampleKept: obs.GetCounter(obs.LabeledName("tracestore.kept_by", "reason", string(keptSampled))),
+		evicted:    obs.GetCounter("tracestore.evicted"),
+		retained:   obs.GetGauge("tracestore.retained"),
+	}
+}
+
+// Now returns the store's clock reading, so callers time requests on
+// the same (possibly injected) clock the store uses.
+func (s *Store) Now() time.Time { return s.now() }
+
+// NewID returns a fresh 32-hex-character trace id drawn from the
+// store's deterministic stream.
+func (s *Store) NewID() string {
+	s.mu.Lock()
+	a, b := s.r.Uint64(), s.r.Uint64()
+	s.mu.Unlock()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(a >> (8 * i))
+		buf[8+i] = byte(b >> (8 * i))
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// Offer submits a finished trace for retention and reports whether it
+// was kept. Unfinished traces are dropped (the policy needs a status
+// and a duration to decide).
+func (s *Store) Offer(tr *obs.Trace) bool {
+	status, dur, done := tr.Finished()
+	if tr == nil || !done {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offered.Inc()
+	// Draw the sampling decision unconditionally so the stream
+	// position depends only on the offer sequence, not on which
+	// offers happened to error or be slow.
+	sampled := s.prob > 0 && s.r.Float64() < s.prob
+
+	e := &entry{tr: tr, seq: s.seq, dur: dur, status: status}
+	s.seq++
+
+	if s.slowestK > 0 && (len(s.slow) < s.slowestK || dur > s.slow[0].dur) {
+		e.inSlow = true
+		e.kept = append(e.kept, string(keptSlowest))
+		s.slowKept.Inc()
+		i := sort.Search(len(s.slow), func(i int) bool { return s.slow[i].dur >= dur })
+		s.slow = append(s.slow, nil)
+		copy(s.slow[i+1:], s.slow[i:])
+		s.slow[i] = e
+		if len(s.slow) > s.slowestK {
+			displaced := s.slow[0]
+			s.slow = s.slow[1:]
+			displaced.inSlow = false
+			s.forget(displaced)
+		}
+	}
+	if isError(status) {
+		e.kept = append(e.kept, string(keptError))
+		s.errorsKept.Inc()
+	}
+	if sampled && !isError(status) && !e.inSlow {
+		e.kept = append(e.kept, string(keptSampled))
+		s.sampleKept.Inc()
+	}
+	// Errors and samples occupy the ring; slow-only traces live in
+	// the slow set alone, so a burst of errors cannot evict them.
+	if isError(status) || (sampled && !e.inSlow) {
+		e.inRing = true
+		s.ring = append(s.ring, e)
+		if len(s.ring) > s.capacity {
+			oldest := s.ring[0]
+			s.ring = s.ring[1:]
+			oldest.inRing = false
+			s.forget(oldest)
+		}
+	}
+	if len(e.kept) == 0 {
+		return false
+	}
+	s.kept.Inc()
+	s.byID[tr.ID()] = e
+	s.retained.Set(float64(len(s.byID)))
+	return true
+}
+
+// forget drops an entry no longer held by any retention class.
+func (s *Store) forget(e *entry) {
+	if e.inRing || e.inSlow {
+		return
+	}
+	if cur, ok := s.byID[e.tr.ID()]; ok && cur == e {
+		delete(s.byID, e.tr.ID())
+	}
+	s.evicted.Inc()
+	s.retained.Set(float64(len(s.byID)))
+}
+
+// isError reports whether a status is always-kept: every 5xx, i.e.
+// the 503s and 504s the serving path emits under overload and
+// deadline pressure, plus any 500.
+func isError(status int) bool { return status >= 500 }
+
+// Get returns the retained trace with the given id.
+func (s *Store) Get(id string) (*obs.Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.tr, true
+}
+
+// IndexEntry is one row of the trace index.
+type IndexEntry struct {
+	// ID is the trace id; GET /debug/traces/{id} returns the tree.
+	ID string `json:"id"`
+	// Name is the request name ("METHOD /path").
+	Name string `json:"name"`
+	// Status is the HTTP status the request finished with.
+	Status int `json:"status"`
+	// Start is the request start in RFC 3339 with nanoseconds.
+	Start string `json:"start"`
+	// DurationNs is the request duration.
+	DurationNs int64 `json:"duration_ns"`
+	// Kept lists the retention classes that held the trace
+	// ("error", "slowest", "sampled").
+	Kept []string `json:"kept"`
+	// Attrs are the trace-level annotations (cache status, error
+	// class, experiment, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// List returns an index of every retained trace, newest first.
+func (s *Store) List() []IndexEntry {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.byID))
+	for _, e := range s.byID {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	out := make([]IndexEntry, len(entries))
+	for i, e := range entries {
+		out[i] = IndexEntry{
+			ID:         e.tr.ID(),
+			Name:       e.tr.Name(),
+			Status:     e.status,
+			Start:      e.tr.StartTime().UTC().Format(time.RFC3339Nano),
+			DurationNs: e.dur.Nanoseconds(),
+			Kept:       append([]string(nil), e.kept...),
+			Attrs:      e.tr.Attrs(),
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}

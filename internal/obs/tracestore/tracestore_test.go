@@ -1,0 +1,219 @@
+package tracestore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sfcacd/internal/obs"
+)
+
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+// finished builds a completed trace with the given id, status, and
+// duration on the test's fixed clock.
+func finished(id string, status int, d time.Duration) *obs.Trace {
+	tr := obs.NewTrace(id, "POST /v1/experiments/table12", t0)
+	tr.Finish(status, t0.Add(d))
+	return tr
+}
+
+// newStore is a Store with sampling off unless a test arms it, a
+// pinned seed, and a fixed clock.
+func newStore(o Options) *Store {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Now == nil {
+		o.Now = func() time.Time { return t0 }
+	}
+	return New(o)
+}
+
+func TestOfferRequiresFinished(t *testing.T) {
+	s := newStore(Options{SampleProb: 1})
+	live := obs.NewTrace("live", "GET /", t0)
+	if s.Offer(live) {
+		t.Error("unfinished trace was kept")
+	}
+	if s.Offer(nil) {
+		t.Error("nil trace was kept")
+	}
+	if s.Len() != 0 {
+		t.Errorf("store retained %d traces", s.Len())
+	}
+}
+
+func TestErrorsAlwaysKept(t *testing.T) {
+	s := newStore(Options{SampleProb: -1, SlowestK: -1})
+	for i, status := range []int{500, 503, 504} {
+		id := fmt.Sprintf("err%d", i)
+		if !s.Offer(finished(id, status, time.Millisecond)) {
+			t.Errorf("status %d trace not kept", status)
+		}
+		if _, ok := s.Get(id); !ok {
+			t.Errorf("status %d trace not retrievable", status)
+		}
+	}
+	if s.Offer(finished("ok", 200, time.Millisecond)) {
+		t.Error("healthy trace kept with sampling and slowest-K disabled")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSlowestKDisplacement(t *testing.T) {
+	s := newStore(Options{SampleProb: -1, SlowestK: 2})
+	s.Offer(finished("slow10", 200, 10*time.Millisecond))
+	s.Offer(finished("slow30", 200, 30*time.Millisecond))
+	// Faster than both current members: not kept.
+	if s.Offer(finished("fast5", 200, 5*time.Millisecond)) {
+		t.Error("trace faster than the slowest-K floor was kept")
+	}
+	// Slower than the floor: kept, displacing the fastest member.
+	if !s.Offer(finished("slow20", 200, 20*time.Millisecond)) {
+		t.Error("displacing trace not kept")
+	}
+	if _, ok := s.Get("slow10"); ok {
+		t.Error("displaced trace still retrievable")
+	}
+	for _, id := range []string{"slow20", "slow30"} {
+		if _, ok := s.Get(id); !ok {
+			t.Errorf("%s missing from slowest set", id)
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	s := newStore(Options{Capacity: 2, SampleProb: -1, SlowestK: -1})
+	s.Offer(finished("e1", 500, time.Millisecond))
+	s.Offer(finished("e2", 500, time.Millisecond))
+	s.Offer(finished("e3", 500, time.Millisecond))
+	if _, ok := s.Get("e1"); ok {
+		t.Error("oldest ring entry survived past capacity")
+	}
+	for _, id := range []string{"e2", "e3"} {
+		if _, ok := s.Get(id); !ok {
+			t.Errorf("%s evicted early", id)
+		}
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+// TestErrorEvictionSparesSlowest: slow-only traces live outside the
+// ring, so an error burst cannot evict the slowest-K set.
+func TestErrorEvictionSparesSlowest(t *testing.T) {
+	s := newStore(Options{Capacity: 2, SampleProb: -1, SlowestK: 1})
+	s.Offer(finished("slowest", 200, time.Hour))
+	for i := 0; i < 10; i++ {
+		s.Offer(finished(fmt.Sprintf("e%d", i), 500, time.Millisecond))
+	}
+	if _, ok := s.Get("slowest"); !ok {
+		t.Error("error burst evicted a slowest-K trace")
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	keeps := func(seed uint64) []bool {
+		s := newStore(Options{Seed: seed, SlowestK: -1, SampleProb: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = s.Offer(finished(fmt.Sprintf("t%d", i), 200, time.Millisecond))
+		}
+		return out
+	}
+	a, b := keeps(7), keeps(7)
+	var kept int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offer %d: same seed, different decision", i)
+		}
+		if a[i] {
+			kept++
+		}
+	}
+	if kept == 0 || kept == len(a) {
+		t.Errorf("prob 0.5 kept %d/%d — sampling looks stuck", kept, len(a))
+	}
+	c := keeps(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+// TestSamplingStreamPosition: the decision stream advances once per
+// offer regardless of whether earlier offers were errors, so the
+// sampled subset of healthy traffic is independent of interleaved
+// failures.
+func TestSamplingStreamPosition(t *testing.T) {
+	run := func(errorFirst bool) bool {
+		s := newStore(Options{Seed: 7, SlowestK: -1, SampleProb: 0.5})
+		st := 200
+		if errorFirst {
+			st = 500
+		}
+		s.Offer(finished("first", st, time.Millisecond))
+		return s.Offer(finished("second", 200, time.Millisecond))
+	}
+	if run(false) != run(true) {
+		t.Error("an error offer shifted the sampling stream for later offers")
+	}
+}
+
+func TestListNewestFirstAndKeptReasons(t *testing.T) {
+	s := newStore(Options{SampleProb: -1, SlowestK: 1, Capacity: 4})
+	s.Offer(finished("slowone", 200, time.Hour))
+	s.Offer(finished("errone", 504, time.Millisecond))
+	tr := finished("errtwo", 503, time.Millisecond)
+	tr.Annotate("cache", "miss")
+	s.Offer(tr)
+
+	list := s.List()
+	if len(list) != 3 {
+		t.Fatalf("List len = %d, want 3", len(list))
+	}
+	if list[0].ID != "errtwo" || list[1].ID != "errone" || list[2].ID != "slowone" {
+		t.Errorf("order = %s, %s, %s; want newest first", list[0].ID, list[1].ID, list[2].ID)
+	}
+	if list[0].Status != 503 || list[0].Attrs["cache"] != "miss" {
+		t.Errorf("entry = %+v", list[0])
+	}
+	if len(list[2].Kept) != 1 || list[2].Kept[0] != "slowest" {
+		t.Errorf("slowone kept reasons = %v", list[2].Kept)
+	}
+	if len(list[1].Kept) != 1 || list[1].Kept[0] != "error" {
+		t.Errorf("errone kept reasons = %v", list[1].Kept)
+	}
+	if list[2].DurationNs != time.Hour.Nanoseconds() {
+		t.Errorf("duration = %d", list[2].DurationNs)
+	}
+}
+
+func TestNewIDDeterministicAndDistinct(t *testing.T) {
+	a := newStore(Options{Seed: 9})
+	b := newStore(Options{Seed: 9})
+	seen := make(map[string]bool)
+	for i := 0; i < 16; i++ {
+		ida, idb := a.NewID(), b.NewID()
+		if ida != idb {
+			t.Fatalf("draw %d: same seed produced %q and %q", i, ida, idb)
+		}
+		if len(ida) != 32 {
+			t.Fatalf("id %q is not 32 hex chars", ida)
+		}
+		if seen[ida] {
+			t.Fatalf("id %q repeated", ida)
+		}
+		seen[ida] = true
+	}
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 
 	"sfcacd/internal/experiments"
 	"sfcacd/internal/obs"
@@ -15,6 +17,9 @@ import (
 
 // maxBodyBytes bounds a request body; parameter JSON is tiny.
 const maxBodyBytes = 1 << 20
+
+// maxTraceIDLen bounds an honored X-Trace-Id header.
+const maxTraceIDLen = 64
 
 // Envelope is the JSON body of a successful experiment response. Raw
 // fields replay the cached bytes verbatim, so the body of a cache hit
@@ -56,8 +61,17 @@ const defaultScaleSteps = 2
 //	POST /v1/experiments/{name}   run (or serve from cache) one experiment
 //	GET  /v1/experiments          registry listing
 //	GET  /healthz                 liveness
-//	GET  /metrics                 obs registry snapshot
+//	GET  /readyz                  readiness (503 once draining)
+//	GET  /metrics                 Prometheus text exposition
+//	                              (JSON snapshot via Accept: application/json)
+//	GET  /metrics.json            obs registry snapshot, always JSON
+//	GET  /debug/traces            retained-trace index
+//	GET  /debug/traces/{id}       one trace's span tree
 //	GET  /debug/pprof/...         pprof handlers
+//
+// Every non-/debug/ request is traced: the response carries
+// X-Trace-Id (honored from the request when present), and completed
+// traces are offered to the server's tail-sampling trace store.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments/{name}", s.handleRun)
@@ -66,15 +80,136 @@ func NewHandler(s *Server) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, obs.Default().Snapshot())
 	})
+	mux.HandleFunc("GET /debug/traces", s.handleTraceIndex)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.withTracing(mux)
+}
+
+// withTracing gives every non-/debug/ request a request-scoped trace:
+// an id (honored from X-Trace-Id, else drawn from the trace store's
+// deterministic source), a root span the handler goroutine attaches
+// to, and — after the response is written — a tail-sampling offer to
+// the retention store. /debug/ endpoints are exempt so reading traces
+// does not mint traces.
+func (s *Server) withTracing(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/debug/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		id := sanitizeTraceID(r.Header.Get("X-Trace-Id"))
+		if id == "" {
+			id = s.traces.NewID()
+		}
+		tr := obs.NewTrace(id, r.Method+" "+r.URL.Path, s.traces.Now())
+		w.Header().Set("X-Trace-Id", id)
+		detach := tr.Root().Attach()
+		rec := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+		detach()
+		tr.Finish(rec.status, s.traces.Now())
+		s.traces.Offer(tr)
+	})
+}
+
+// sanitizeTraceID returns the id if it is safe to echo into headers,
+// logs, and URL paths — ASCII letters, digits, '-', '_', at most
+// maxTraceIDLen — and "" otherwise.
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > maxTraceIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter captures the response status for trace finalization,
+// forwarding Flush and exposing Unwrap like the daemon's logging
+// recorder so streaming handlers behind the middleware keep working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// handleReady answers GET /readyz: 200 while serving, 503 once
+// SetDraining has run, so fleet load balancers stop routing here
+// before Shutdown closes the listener.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics answers GET /metrics, content-negotiated: Prometheus
+// text exposition by default, the JSON registry snapshot when the
+// Accept header asks for application/json.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Default().Snapshot()
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// handleTraceIndex answers GET /debug/traces with the retained-trace
+// index, newest first.
+func (s *Server) handleTraceIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.List()})
+}
+
+// handleTraceGet answers GET /debug/traces/{id} with one trace's full
+// span tree. Traces of still-running detached computations render
+// their current, partially complete state.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.traces.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no retained trace %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot(s.traces.Now()))
 }
 
 // handleRun answers POST /v1/experiments/{name}. The body, when
@@ -84,7 +219,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	spec, ok := experiments.Lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q", name), 0)
+		writeError(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown experiment %q", name)})
 		return
 	}
 	params := spec.Paper
@@ -93,14 +228,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		params = params.Scale(defaultScaleSteps)
 	case "paper":
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown preset %q (use scaled or paper)", preset), 0)
+		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown preset %q (use scaled or paper)", preset)})
 		return
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	// io.EOF means an absent body: run the preset as-is.
 	if err := dec.Decode(&params); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad params body: %v", err), 0)
+		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad params body: %v", err)})
 		return
 	}
 
@@ -119,28 +254,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// writeDoError maps Server.Do errors onto HTTP statuses.
+// writeDoError maps Server.Do errors onto HTTP statuses. Every error
+// body goes through writeError — one encoding path, every response
+// with Content-Length.
 func writeDoError(w http.ResponseWriter, r *http.Request, err error) {
 	var overload *OverloadError
 	var deadline *DeadlineError
 	switch {
 	case errors.Is(err, ErrUnknownExperiment):
-		writeError(w, http.StatusNotFound, err.Error(), 0)
+		writeError(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrInvalidParams):
-		writeError(w, http.StatusBadRequest, err.Error(), 0)
+		writeError(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.As(err, &overload):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err.Error(), overload.QueueDepth)
+		writeError(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), QueueDepth: overload.QueueDepth})
 	case errors.As(err, &deadline):
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusGatewayTimeout)
-		json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Timeout: deadline.Timeout.String()})
+		writeError(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Timeout: deadline.Timeout.String()})
 	case r.Context().Err() != nil:
 		// The client is gone; nothing useful can be written. 499 is
 		// the de-facto "client closed request" status.
 		w.WriteHeader(499)
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		writeError(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 	}
 }
 
@@ -159,11 +294,13 @@ func handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
 }
 
-// writeJSON writes v as a JSON response.
+// writeJSON writes v as a JSON response with Content-Length.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error(), 0)
+		// Marshal of the response types cannot fail in practice; keep a
+		// non-recursive fallback for safety.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -173,9 +310,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write([]byte("\n"))
 }
 
-// writeError writes a JSON error body.
-func writeError(w http.ResponseWriter, status int, msg string, queueDepth int) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(errorBody{Error: msg, QueueDepth: queueDepth})
+// writeError writes a JSON error body through the same path as every
+// success body.
+func writeError(w http.ResponseWriter, status int, body errorBody) {
+	writeJSON(w, status, body)
 }

@@ -210,19 +210,43 @@ func TestHandlerHealthAndMetrics(t *testing.T) {
 
 	// A request first so the snapshot has serve counters.
 	postExperiment(t, h, "/v1/experiments/table12", tinyBody)
+
+	// Default /metrics is the Prometheus text exposition.
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/metrics status %d", rec.Code)
 	}
-	var snap struct {
-		Counters map[string]uint64 `json:"counters"`
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
 	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
-		t.Fatalf("/metrics is not a JSON snapshot: %v", err)
+	if !strings.Contains(rec.Body.String(), "serve_requests_total") {
+		t.Error("/metrics exposition missing serve_requests_total")
 	}
-	if snap.Counters["serve.requests"] == 0 {
-		t.Error("/metrics snapshot missing serve.requests")
+
+	// JSON stays available by content negotiation and at /metrics.json.
+	for _, mk := range []func() *http.Request{
+		func() *http.Request {
+			req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+			req.Header.Set("Accept", "application/json")
+			return req
+		},
+		func() *http.Request { return httptest.NewRequest(http.MethodGet, "/metrics.json", nil) },
+	} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, mk())
+		if rec.Code != http.StatusOK {
+			t.Fatalf("JSON metrics status %d", rec.Code)
+		}
+		var snap struct {
+			Counters map[string]uint64 `json:"counters"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("JSON metrics response is not a snapshot: %v", err)
+		}
+		if snap.Counters["serve.requests"] == 0 {
+			t.Error("JSON metrics snapshot missing serve.requests")
+		}
 	}
 
 	rec = httptest.NewRecorder()

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"sfcacd/internal/experiments"
 	"sfcacd/internal/faultinject"
 	"sfcacd/internal/obs"
+	"sfcacd/internal/obs/tracestore"
 	"sfcacd/internal/resultcache"
 )
 
@@ -131,16 +133,21 @@ type Options struct {
 	// Faults, when set, arms the SiteCompute injection point (the disk
 	// store carries its own injector; see resultcache.SetFaults).
 	Faults *faultinject.Injector
+	// Traces, when set, is the tail-sampled trace retention store the
+	// HTTP layer offers completed request traces to; nil means a
+	// store with default policy.
+	Traces *tracestore.Store
 }
 
 // call is one in-flight computation and the requests waiting on it.
 type call struct {
-	key    resultcache.Key
-	done   chan struct{}
-	entry  resultcache.Entry
-	err    error
-	refs   int // guarded by Server.mu
-	cancel context.CancelFunc
+	key     resultcache.Key
+	done    chan struct{}
+	entry   resultcache.Entry
+	err     error
+	refs    int // guarded by Server.mu
+	maxRefs int // peak fan-in, guarded by Server.mu
+	cancel  context.CancelFunc
 }
 
 // Server coalesces, admits, computes, and caches experiment requests.
@@ -155,6 +162,9 @@ type Server struct {
 	sem       chan struct{}  // worker slots
 	queued    atomic.Int64   // computations admitted or waiting
 	computing sync.WaitGroup // live compute goroutines; Drain waits on it
+	draining  atomic.Bool    // set once shutdown begins; /readyz turns 503
+
+	traces *tracestore.Store
 
 	mu       sync.Mutex
 	inflight map[resultcache.Key]*call
@@ -168,8 +178,13 @@ type Server struct {
 	rejections, diskHits, diskErrors  *obs.Counter
 	deadlines                         *obs.Counter
 	queueGauge, runningGauge          *obs.Gauge
+	inflightGauge                     *obs.Gauge
 	latency                           *obs.Histogram
 }
+
+// latencyBuckets spans 1µs to 10s exponentially, shared by the
+// overall and the per-experiment/per-cache-status latency histograms.
+var latencyBuckets = obs.ExponentialBuckets(1e3, 10, 8)
 
 // New returns a Server with the given options.
 func New(opts Options) *Server {
@@ -189,6 +204,10 @@ func New(opts Options) *Server {
 	if ct == 0 {
 		ct = DefaultComputeTimeout
 	}
+	traces := opts.Traces
+	if traces == nil {
+		traces = tracestore.New(tracestore.Options{})
+	}
 	return &Server{
 		workers:        w,
 		maxQueue:       q,
@@ -196,6 +215,7 @@ func New(opts Options) *Server {
 		disk:           opts.Disk,
 		computeTimeout: ct,
 		faults:         opts.Faults,
+		traces:         traces,
 		sem:            make(chan struct{}, w),
 		inflight:       make(map[resultcache.Key]*call),
 		runFn: func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
@@ -208,10 +228,10 @@ func New(opts Options) *Server {
 		diskHits:     obs.GetCounter("serve.disk_hits"),
 		diskErrors:   obs.GetCounter("serve.disk_errors"),
 		deadlines:    obs.GetCounter("serve.deadline_exceeded"),
-		queueGauge:   obs.GetGauge("serve.queue_depth"),
-		runningGauge: obs.GetGauge("serve.running"),
-		latency: obs.GetHistogram("serve.latency_ns",
-			obs.ExponentialBuckets(1e3, 10, 8)), // 1µs .. 10s
+		queueGauge:    obs.GetGauge("serve.queue_depth"),
+		runningGauge:  obs.GetGauge("serve.running"),
+		inflightGauge: obs.GetGauge("serve.inflight_requests"),
+		latency:       obs.GetHistogram("serve.latency_ns", latencyBuckets), // 1µs .. 10s
 	}
 }
 
@@ -225,12 +245,79 @@ func (s *Server) QueueDepth() int { return s.maxQueue }
 // introspection).
 func (s *Server) Cache() *resultcache.Cache { return s.cache }
 
+// Traces returns the trace retention store the HTTP layer serves
+// /debug/traces from.
+func (s *Server) Traces() *tracestore.Store { return s.traces }
+
+// SetDraining marks the server as draining: /readyz answers 503 so
+// load balancers stop routing here before the listener closes.
+// Requests already in flight (and Do itself) are unaffected.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Draining reports whether SetDraining has run.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errClass buckets a Do error for the serve.errors counter family.
+func errClass(err error) string {
+	var overload *OverloadError
+	var deadline *DeadlineError
+	switch {
+	case errors.Is(err, ErrUnknownExperiment):
+		return "unknown_experiment"
+	case errors.Is(err, ErrInvalidParams):
+		return "invalid_params"
+	case errors.As(err, &overload):
+		return "overload"
+	case errors.As(err, &deadline):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, faultinject.ErrInjected):
+		return "injected"
+	default:
+		return "internal"
+	}
+}
+
 // Do answers one experiment request. Identical concurrent requests
 // share one computation; completed results are served from the cache
 // byte-identically to the miss that produced them.
+//
+// Telemetry per request: the overall serve.latency_ns histogram, a
+// per-experiment and per-cache-status serve.request_latency_ns series
+// (cache label hit|miss|coalesced|error), a serve.errors counter per
+// error class, and — when the context carries an obs.Trace — cache
+// status and error-class annotations on the trace.
 func (s *Server) Do(ctx context.Context, experiment string, p experiments.Params) (Response, error) {
 	start := time.Now()
 	s.requests.Inc()
+	s.inflightGauge.Add(1)
+	defer s.inflightGauge.Add(-1)
+	tr := obs.TraceFrom(ctx)
+	tr.Annotate("experiment", experiment)
+
+	resp, err := s.do(ctx, tr, experiment, p)
+
+	ns := float64(time.Since(start).Nanoseconds())
+	s.latency.Observe(ns)
+	cache := string(resp.Status)
+	if err != nil {
+		cache = "error"
+		class := errClass(err)
+		obs.GetCounter(obs.LabeledName("serve.errors", "class", class)).Inc()
+		tr.Annotate("error_class", class)
+	}
+	tr.Annotate("cache", cache)
+	obs.GetHistogram(obs.LabeledName("serve.request_latency_ns",
+		"cache", cache, "experiment", experiment), latencyBuckets).Observe(ns)
+	return resp, err
+}
+
+// do is Do's serving body; telemetry that applies to every outcome
+// lives in the wrapper above.
+func (s *Server) do(ctx context.Context, tr *obs.Trace, experiment string, p experiments.Params) (Response, error) {
 	if s.computeTimeout > 0 {
 		// The per-request deadline. WithTimeoutCause makes the
 		// server-applied deadline distinguishable from the client's own
@@ -250,8 +337,9 @@ func (s *Server) Do(ctx context.Context, experiment string, p experiments.Params
 	}
 	key := resultcache.KeyFor(experiment, p.CanonicalKey(), experiments.ResultSchemaVersion)
 
+	lookup := tr.StartSpan("cache.lookup")
 	if entry, ok := s.cache.Get(key); ok {
-		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
+		lookup.End()
 		return Response{Status: StatusHit, Entry: entry}, nil
 	}
 	if s.disk != nil {
@@ -261,17 +349,24 @@ func (s *Server) Do(ctx context.Context, experiment string, p experiments.Params
 		} else if ok {
 			s.diskHits.Inc()
 			s.cache.Put(entry)
-			s.latency.Observe(float64(time.Since(start).Nanoseconds()))
+			lookup.Annotate("source", "disk")
+			lookup.End()
 			return Response{Status: StatusHit, Entry: entry}, nil
 		}
 	}
+	lookup.End()
 
 	s.mu.Lock()
 	if c, ok := s.inflight[key]; ok {
 		c.refs++
+		if c.refs > c.maxRefs {
+			c.maxRefs = c.refs
+		}
+		fanIn := c.refs
 		s.mu.Unlock()
 		s.coalesced.Inc()
-		return s.wait(ctx, c, StatusCoalesced, start)
+		tr.Annotate("coalesce_fanin", strconv.Itoa(fanIn))
+		return s.wait(ctx, tr, c, StatusCoalesced)
 	}
 	// Recheck the cache before leading a fresh computation: one may
 	// have completed between the miss above and taking the lock. Put
@@ -281,32 +376,36 @@ func (s *Server) Do(ctx context.Context, experiment string, p experiments.Params
 	// compute twice.
 	if entry, ok := s.cache.Get(key); ok {
 		s.mu.Unlock()
-		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
 		return Response{Status: StatusHit, Entry: entry}, nil
 	}
 	cctx, cancel := context.WithCancel(context.Background())
-	c := &call{key: key, done: make(chan struct{}), refs: 1, cancel: cancel}
+	c := &call{key: key, done: make(chan struct{}), refs: 1, maxRefs: 1, cancel: cancel}
 	s.inflight[key] = c
 	s.mu.Unlock()
+	if d, ok := ctx.Deadline(); ok {
+		tr.Annotate("deadline_remaining", time.Until(d).Round(time.Millisecond).String())
+	}
 	s.computing.Add(1)
 	go func() {
 		defer s.computing.Done()
-		s.compute(cctx, c, spec, p)
+		s.compute(cctx, c, spec, p, tr)
 	}()
-	return s.wait(ctx, c, StatusMiss, start)
+	return s.wait(ctx, tr, c, StatusMiss)
 }
 
 // wait blocks until the call completes or the request's own context
 // ends, dropping the request's reference in the latter case. A
 // server-applied compute deadline surfaces as its DeadlineError cause;
 // other waiters of the same call are unaffected either way.
-func (s *Server) wait(ctx context.Context, c *call, status Status, start time.Time) (Response, error) {
+func (s *Server) wait(ctx context.Context, tr *obs.Trace, c *call, status Status) (Response, error) {
+	span := tr.StartSpan("wait")
+	span.Annotate("mode", string(status))
+	defer span.End()
 	select {
 	case <-c.done:
 		if c.err != nil {
 			return Response{}, c.err
 		}
-		s.latency.Observe(float64(time.Since(start).Nanoseconds()))
 		return Response{Status: status, Entry: c.entry}, nil
 	case <-ctx.Done():
 		s.abandon(c)
@@ -354,8 +453,27 @@ func (s *Server) abandon(c *call) {
 }
 
 // compute runs one admitted computation and broadcasts its outcome.
-func (s *Server) compute(ctx context.Context, c *call, spec experiments.Spec, p experiments.Params) {
+// tr is the trace of the request that led the computation (nil when
+// untraced): the goroutine attaches to its root span, so every phase
+// the experiment code opens — the sweep, its cells' sampling and
+// accumulation passes — lands in that request's span tree even though
+// the computation itself is detached from the request context. If the
+// leading request times out, the spans keep completing into the
+// retained trace, which is exactly the trace worth reading.
+func (s *Server) compute(ctx context.Context, c *call, spec experiments.Spec, p experiments.Params, tr *obs.Trace) {
 	defer c.cancel()
+	if tr != nil {
+		detach := tr.Root().Attach()
+		defer detach()
+		cspan := obs.StartSpan("compute")
+		defer cspan.End()
+		defer func() {
+			s.mu.Lock()
+			fanIn := c.maxRefs
+			s.mu.Unlock()
+			cspan.Annotate("coalesce_fanin", strconv.Itoa(fanIn))
+		}()
+	}
 	if p.Workers == 0 {
 		// Split the machine across the server's compute slots so s.workers
 		// concurrent sweeps don't each grab GOMAXPROCS goroutines.
@@ -375,13 +493,16 @@ func (s *Server) compute(ctx context.Context, c *call, spec experiments.Spec, p 
 		s.finish(c, resultcache.Entry{}, &OverloadError{QueueDepth: int(depth - 1)})
 		return
 	}
+	qspan := tr.StartSpan("queue.wait")
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
+		qspan.End()
 		s.queued.Add(-1)
 		s.finish(c, resultcache.Entry{}, ctx.Err())
 		return
 	}
+	qspan.End()
 	s.runningGauge.Add(1)
 	defer func() {
 		<-s.sem
