@@ -12,6 +12,7 @@ import (
 	"sfcacd/internal/acd"
 	"sfcacd/internal/experiments"
 	"sfcacd/internal/fmmmodel"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/quadtree"
 	"sfcacd/internal/serve"
 	"sfcacd/internal/topology"
@@ -243,7 +244,7 @@ func BenchmarkThreeDValidation(b *testing.B) {
 	p.Order = 5
 	p.ANNSOrder = 3
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunThreeD(context.Background(), p, 0); err != nil {
+		if _, err := experiments.RunThreeD(context.Background(), p, 0, keynav.EngineTree); err != nil {
 			b.Fatal(err)
 		}
 	}

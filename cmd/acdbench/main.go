@@ -111,6 +111,7 @@ func run() int {
 		trials    = flag.Int("trials", 0, "override trial count")
 		seed      = flag.Uint64("seed", 0, "override random seed")
 		workers   = flag.Int("workers", 0, "cap sweep-cell and inner accumulation worker goroutines (0 = GOMAXPROCS)")
+		nfiEngine = flag.String("nfi-engine", "", "neighbor engine for the accumulation passes: tree (default; rank table + quadtree oracle) or keys (key-space index); results are bit-identical")
 		cacheDir  = flag.String("cache", "", "read/write results in this content-addressed cache directory (shared with acdserverd -cachedir)")
 		cacheVer  = flag.Bool("cache-verify", false, "verify every entry in the -cache store (quarantining bad ones) and exit")
 		csvDirF   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
@@ -221,6 +222,9 @@ func run() int {
 		}
 		if *workers > 0 {
 			p.Workers = *workers
+		}
+		if *nfiEngine != "" {
+			p.NFIEngine = *nfiEngine
 		}
 		return p
 	}

@@ -14,8 +14,10 @@ package acd
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sfcacd/internal/geom"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/partition"
 	"sfcacd/internal/sfc"
@@ -119,15 +121,35 @@ type Assignment struct {
 	Ranks []int32
 	// side caches the grid side.
 	side uint32
-	// cellRank maps an occupied cell to the rank owning its particle;
-	// dense array when the grid is small enough, sparse map otherwise.
+	// The cell->rank table maps an occupied cell to the rank owning its
+	// particle: dense array when the grid is small enough, sparse map
+	// otherwise. It is built lazily on the first RankAt — the key-space
+	// engine (keynav) resolves ranks on the sorted key array and never
+	// pays for it. tableReady publishes the build; tableMu serializes
+	// it.
+	tableMu    sync.Mutex
+	tableReady atomic.Bool
 	denseRank  []int32
 	sparseRank map[uint64]int32
+	// keyIx caches the key-space occupancy index shared by the NFI and
+	// FFI passes of the keys engine; built on first KeyIndex call.
+	ixMu  sync.Mutex
+	keyIx *keynav.Index
+	// released marks the assignment dead: lazy structures are no longer
+	// built and RankAt reports every cell empty.
+	released atomic.Bool
 }
 
 // denseLimit is the largest cell count for which the cell->rank lookup
-// uses a dense array (4096x4096 = 64 MiB of int32).
-const denseLimit = 1 << 24
+// uses a dense array (4096x4096 = 64 MiB of int32). The cutover is a
+// memory bound, not a speed one: BenchmarkRankAt has the dense load at
+// ~3.7 ns/op against ~21 ns/op for the sparse map on random probes, so
+// the array wins wherever it fits. (keynav's key search is ~34 ns/op
+// on the same random probes — its advantage is elsewhere: sequential
+// sweeps hit the rankNear fast path and the table build is skipped
+// entirely.) It is a var so tests can force the sparse path at small
+// orders.
+var denseLimit = uint64(1) << 24
 
 // denseRankPool recycles dense rank tables between assignments.
 // Parallel sweep cells each build a full 4^order table; without
@@ -155,19 +177,71 @@ func newDenseRank(cells uint64) []int32 {
 }
 
 // Release returns the assignment's pooled scratch (the dense rank
-// table) for reuse. The assignment must not be used afterwards: RankAt
-// reports every cell empty. Only call it from owners that know the
-// assignment is dead — the sweep scheduler's cells do; ordinary
-// callers can rely on the garbage collector instead.
+// table and the key-space index) for reuse. The assignment must not be
+// used afterwards: RankAt reports every cell empty. Only call it from
+// owners that know the assignment is dead — the sweep scheduler's
+// cells do; ordinary callers can rely on the garbage collector
+// instead.
 func (a *Assignment) Release() {
-	if a == nil || a.denseRank == nil {
+	if a == nil {
 		return
 	}
-	t := a.denseRank
-	a.denseRank = nil
-	p := denseRankPool.Get().(*[]int32)
-	*p = t
-	denseRankPool.Put(p)
+	a.released.Store(true)
+	a.tableMu.Lock()
+	if t := a.denseRank; t != nil {
+		a.denseRank = nil
+		p := denseRankPool.Get().(*[]int32)
+		*p = t
+		denseRankPool.Put(p)
+	}
+	a.sparseRank = nil
+	a.tableReady.Store(true)
+	a.tableMu.Unlock()
+	a.ixMu.Lock()
+	if a.keyIx != nil {
+		a.keyIx.Release()
+		a.keyIx = nil
+	}
+	a.ixMu.Unlock()
+}
+
+// ensureTable builds the cell->rank table from the particle arrays on
+// first use.
+func (a *Assignment) ensureTable() {
+	a.tableMu.Lock()
+	defer a.tableMu.Unlock()
+	if a.tableReady.Load() {
+		return
+	}
+	if a.released.Load() {
+		a.tableReady.Store(true)
+		return
+	}
+	if geom.Cells(a.Order) <= denseLimit {
+		a.denseRank = newDenseRank(geom.Cells(a.Order))
+		for i, pt := range a.Particles {
+			a.denseRank[geom.CellID(pt, a.side)] = a.Ranks[i]
+		}
+	} else {
+		a.sparseRank = make(map[uint64]int32, len(a.Particles))
+		for i, pt := range a.Particles {
+			a.sparseRank[geom.CellID(pt, a.side)] = a.Ranks[i]
+		}
+	}
+	a.tableReady.Store(true)
+}
+
+// KeyIndex returns the assignment's key-space occupancy index
+// (internal/keynav), building it on first call. The index is shared:
+// the keys engine's near- and far-field passes over one assignment use
+// the same build. Returns nil after Release.
+func (a *Assignment) KeyIndex() *keynav.Index {
+	a.ixMu.Lock()
+	defer a.ixMu.Unlock()
+	if a.keyIx == nil && !a.released.Load() {
+		a.keyIx = keynav.Build(a.Order, a.Particles, a.Ranks)
+	}
+	return a.keyIx
 }
 
 // Assign orders the given particles along the particle-order curve,
@@ -196,11 +270,9 @@ func Assign(particles []geom.Point, curve sfc.Curve, order uint, p int) (*Assign
 		side:      geom.Side(order),
 	}
 	n := len(particles)
-	if geom.Cells(order) <= denseLimit {
-		a.denseRank = newDenseRank(geom.Cells(order))
-	} else {
-		a.sparseRank = make(map[uint64]int32, n)
-	}
+	// The cell->rank table is NOT built here: duplicate detection rides
+	// on the sorted keys, and the keys engine never consults the table,
+	// so it is deferred to the first RankAt (see ensureTable).
 	prevIdx := uint64(0)
 	for i, src := range perm {
 		pt := particles[src]
@@ -209,15 +281,8 @@ func Assign(particles []geom.Point, curve sfc.Curve, order uint, p int) (*Assign
 			return nil, fmt.Errorf("acd: duplicate particle cell %v", pt)
 		}
 		prevIdx = idx
-		rank := int32(partition.ChunkOf(i, n, p))
 		a.Particles[i] = pt
-		a.Ranks[i] = rank
-		id := geom.CellID(pt, a.side)
-		if a.denseRank != nil {
-			a.denseRank[id] = rank
-		} else {
-			a.sparseRank[id] = rank
-		}
+		a.Ranks[i] = int32(partition.ChunkOf(i, n, p))
 	}
 	return a, nil
 }
@@ -248,11 +313,15 @@ func FromOwners(particles []geom.Point, ranks []int32, order uint, p int) (*Assi
 		Ranks:     append([]int32(nil), ranks...),
 		side:      geom.Side(order),
 	}
+	// Unlike Assign, the table is built eagerly: duplicate detection
+	// here has no sorted key stream to lean on, so it probes the table
+	// as it fills.
 	if geom.Cells(order) <= denseLimit {
 		a.denseRank = newDenseRank(geom.Cells(order))
 	} else {
 		a.sparseRank = make(map[uint64]int32, len(particles))
 	}
+	a.tableReady.Store(true)
 	for i, pt := range particles {
 		if ranks[i] < 0 || int(ranks[i]) >= p {
 			return nil, fmt.Errorf("acd: rank %d out of range [0,%d)", ranks[i], p)
@@ -277,8 +346,11 @@ func (a *Assignment) Side() uint32 { return a.side }
 func (a *Assignment) N() int { return len(a.Particles) }
 
 // RankAt returns the rank owning the particle in the given cell, or -1
-// if the cell is empty.
+// if the cell is empty. The first call builds the lookup table.
 func (a *Assignment) RankAt(p geom.Point) int32 {
+	if !a.tableReady.Load() {
+		a.ensureTable()
+	}
 	id := geom.CellID(p, a.side)
 	if a.denseRank != nil {
 		return a.denseRank[id]
@@ -288,6 +360,11 @@ func (a *Assignment) RankAt(p geom.Point) int32 {
 	}
 	return -1
 }
+
+// TableBuilt reports whether the cell->rank table has been
+// materialized. Diagnostic: the keys engine is expected to leave it
+// unbuilt.
+func (a *Assignment) TableBuilt() bool { return a.tableReady.Load() }
 
 // ChunkBounds returns the half-open range of ordered particle indices
 // owned by rank r.

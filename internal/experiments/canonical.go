@@ -16,10 +16,10 @@ const ResultSchemaVersion = "sfcacd/results/v1"
 // TestCanonicalKeyCoversParams fails when Params gains a field this
 // encoding does not account for.
 //
-// Workers is deliberately excluded: results are identical for any
-// worker count (a documented invariant, enforced by the differential
-// tests), so runs that differ only in parallelism share one cache
-// entry.
+// Workers and NFIEngine are deliberately excluded: results are
+// identical for any worker count and for either neighbor engine
+// (documented invariants, enforced by the differential tests), so runs
+// that differ only in parallelism or engine share one cache entry.
 func (p Params) CanonicalKey() string {
 	return fmt.Sprintf("params/v1:n=%d,k=%d,po=%d,r=%d,t=%d,s=%d",
 		p.Particles, p.Order, p.ProcOrder, p.Radius, p.Trials, p.Seed)

@@ -39,15 +39,29 @@ func TestCanonicalKeyIgnoresWorkers(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeyIgnoresEngine asserts the same invariant for the
+// neighbor engine: both engines produce bit-identical results (pinned
+// by TestDifferentialKeysEngine), so a keys-engine run must hit cache
+// entries written by tree-engine runs and vice versa.
+func TestCanonicalKeyIgnoresEngine(t *testing.T) {
+	a := Table12Paper
+	b := Table12Paper
+	b.NFIEngine = "keys"
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("NFIEngine changed the canonical key: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
 // TestCanonicalKeyCoversParams fails when a field is added to Params
 // without a decision about the canonical encoding. A new field must
 // either join CanonicalKey (and the pinned strings above must change,
 // invalidating old cache entries) or be excluded deliberately like
 // Workers — then bump the expected count here with a comment.
 func TestCanonicalKeyCoversParams(t *testing.T) {
-	// 7 = Particles, Order, ProcOrder, Radius, Trials, Seed in the key,
-	// plus Workers (excluded: results are worker-invariant).
-	const known = 7
+	// 8 = Particles, Order, ProcOrder, Radius, Trials, Seed in the key,
+	// plus Workers and NFIEngine (excluded: results are invariant to
+	// worker count and neighbor engine).
+	const known = 8
 	if got := reflect.TypeOf(Params{}).NumField(); got != known {
 		t.Fatalf("Params has %d fields, CanonicalKey audited %d; "+
 			"decide whether the new field is result-affecting and update CanonicalKey", got, known)

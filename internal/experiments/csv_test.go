@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"sfcacd/internal/keynav"
 	"strings"
 	"testing"
 )
@@ -194,7 +195,7 @@ func TestRemainingCSVEmitters(t *testing.T) {
 	td.Particles = 500
 	td.Order = 4
 	td.ANNSOrder = 2
-	t3, err := RunThreeD(context.Background(), td, 0)
+	t3, err := RunThreeD(context.Background(), td, 0, keynav.EngineTree)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"sfcacd/internal/dist"
 	"sfcacd/internal/geom"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/rng"
 	"sfcacd/internal/sfc"
@@ -39,6 +40,23 @@ type Params struct {
 	// for any worker count; the knob exists to pin parallelism for
 	// benchmarking and is recorded in run manifests.
 	Workers int
+	// NFIEngine selects the neighbor-resolution engine of the
+	// accumulation passes: "tree" (or empty, the default — rank table +
+	// quadtree, the differential oracle) or "keys" (key-space occupancy
+	// index, internal/keynav). Results are bit-identical across
+	// engines; like Workers, the knob only moves cost, so it is
+	// excluded from CanonicalKey.
+	NFIEngine string
+}
+
+// engine resolves the NFIEngine name, panicking on values Validate
+// would have rejected.
+func (p Params) engine() keynav.Engine {
+	e, err := keynav.ParseEngine(p.NFIEngine)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 // P returns the processor count 4^ProcOrder.
@@ -63,6 +81,9 @@ func (p Params) Validate() error {
 	}
 	if p.Workers < 0 {
 		return fmt.Errorf("experiments: negative worker count")
+	}
+	if _, err := keynav.ParseEngine(p.NFIEngine); err != nil {
+		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
 }

@@ -6,7 +6,6 @@ import (
 	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
 	"sfcacd/internal/geom"
-	"sfcacd/internal/quadtree"
 	"sfcacd/internal/sfc"
 	"sfcacd/internal/tablefmt"
 	"sfcacd/internal/topology"
@@ -92,17 +91,16 @@ func RunFig6(ctx context.Context, p Params) (Fig6Result, error) {
 			}
 			topos[t] = topo
 		}
+		engine := p.engine()
 		nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner, Engine: engine,
 		})
-		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-		ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
+		ffiAccs := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner, Engine: engine})
 		o := cellOut{nfi: make([]float64, nt), ffi: make([]float64, nt)}
 		for t := range topos {
 			o.nfi[t] = nfiAccs[t].ACD()
 			o.ffi[t] = ffiAccs[t].Total().ACD()
 		}
-		tree.Release()
 		a.Release()
 		outs[cell] = o
 		return nil

@@ -8,7 +8,6 @@ import (
 	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
 	"sfcacd/internal/geom"
-	"sfcacd/internal/quadtree"
 	"sfcacd/internal/sfc"
 	"sfcacd/internal/tablefmt"
 	"sfcacd/internal/topology"
@@ -92,12 +91,11 @@ func RunFig7(ctx context.Context, p Params, procOrders []uint) (Fig7Result, erro
 		// the event stream collapses to its distinct rank pairs before
 		// any distance is computed.
 		topos := []topology.Topology{topology.NewTorus(po, curve)}
+		engine := p.engine()
 		nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner, Engine: engine,
 		})
-		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-		ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
-		tree.Release()
+		ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner, Engine: engine})
 		a.Release()
 		outs[cell] = cellOut{nfi: nfi[0].ACD(), ffi: ffi[0].Total().ACD()}
 		return nil

@@ -8,7 +8,6 @@ import (
 	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
 	"sfcacd/internal/geom"
-	"sfcacd/internal/quadtree"
 	"sfcacd/internal/sfc"
 	"sfcacd/internal/tablefmt"
 	"sfcacd/internal/topology"
@@ -74,10 +73,12 @@ func RunRadiusSweep(ctx context.Context, p Params, radii []int) (RadiusSweepResu
 		// builds one matrix per radius and contracts it against the
 		// torus via the shared matrix path.
 		topos := []topology.Topology{topology.NewTorus(p.ProcOrder, curve)}
+		// On the keys engine the radii share one occupancy index
+		// (a.KeyIndex is cached), so only the enumeration repeats.
 		o := make([]float64, len(radii))
 		for i, radius := range radii {
 			acc := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-				Radius: radius, Metric: geom.MetricChebyshev, Workers: inner,
+				Radius: radius, Metric: geom.MetricChebyshev, Workers: inner, Engine: p.engine(),
 			})
 			o[i] = acc[0].ACD()
 		}
@@ -170,12 +171,11 @@ func RunSizeSweep(ctx context.Context, p Params, sizes []int) (SizeSweepResult, 
 			return err
 		}
 		topos := []topology.Topology{topology.NewTorus(q.ProcOrder, curve)}
+		engine := q.engine()
 		nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-			Radius: q.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+			Radius: q.Radius, Metric: geom.MetricChebyshev, Workers: inner, Engine: engine,
 		})
-		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-		ffi := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
-		tree.Release()
+		ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner, Engine: engine})
 		a.Release()
 		outs[cell] = cellOut{nfi: nfi[0].ACD(), ffi: ffi[0].Total().ACD()}
 		return nil
@@ -253,10 +253,11 @@ func RunMeshTorus(ctx context.Context, p Params) (MeshTorusResult, error) {
 			topology.NewMesh(p.ProcOrder, curve),
 			topology.NewTorus(p.ProcOrder, curve),
 		}
+		engine := p.engine()
 		nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner, Engine: engine,
 		})
-		ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner})
+		ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner, Engine: engine})
 		a.Release()
 		outs[cell] = cellOut{
 			meshNFI:  nfi[0].ACD(),

@@ -6,7 +6,6 @@ import (
 	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
 	"sfcacd/internal/geom"
-	"sfcacd/internal/quadtree"
 	"sfcacd/internal/sfc"
 	"sfcacd/internal/tablefmt"
 )
@@ -82,17 +81,16 @@ func RunTable12(ctx context.Context, p Params) ([]Table12Result, error) {
 		if err != nil {
 			return err
 		}
+		engine := p.engine()
 		nfiAccs := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
-			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner,
+			Radius: p.Radius, Metric: geom.MetricChebyshev, Workers: inner, Engine: engine,
 		})
-		tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
-		ffiAccs := fmmmodel.FFIMultiFromTree(tree, topos, fmmmodel.FFIOptions{Workers: inner})
+		ffiAccs := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner, Engine: engine})
 		o := cellOut{nfi: make([]float64, nc), ffi: make([]float64, nc)}
 		for proc := range curves {
 			o.nfi[proc] = nfiAccs[proc].ACD()
 			o.ffi[proc] = ffiAccs[proc].Total().ACD()
 		}
-		tree.Release()
 		a.Release()
 		outs[cell] = o
 		return nil

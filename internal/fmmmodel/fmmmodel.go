@@ -22,6 +22,7 @@ import (
 
 	"sfcacd/internal/acd"
 	"sfcacd/internal/geom"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/quadtree"
 	"sfcacd/internal/topology"
@@ -37,6 +38,13 @@ type NFIOptions struct {
 	Metric geom.Metric
 	// Workers caps the worker goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Engine selects the neighbor-resolution machinery on the matrix
+	// path (NFIMatrix/NFIMulti): the assignment's rank table (tree,
+	// the default and oracle) or the key-space index (keys). Results
+	// are bit-identical; only the cost differs. The direct NFI path
+	// always uses the rank table — it is the oracle the engines are
+	// tested against.
+	Engine keynav.Engine
 }
 
 func (o *NFIOptions) normalize() {
@@ -143,6 +151,11 @@ func (r FFIResult) recordMatrixPath() {
 type FFIOptions struct {
 	// Workers caps the worker goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Engine selects the far-field structure on the matrix path
+	// (FFIMulti): the dense representative quadtree (tree, the default
+	// and oracle) or the key-space level slabs (keys). See
+	// NFIOptions.Engine.
+	Engine keynav.Engine
 }
 
 // FFI computes the far-field ACD of the assignment on the given

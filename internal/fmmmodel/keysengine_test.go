@@ -1,0 +1,118 @@
+package fmmmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/dist"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/keynav"
+	"sfcacd/internal/quadtree"
+	"sfcacd/internal/rng"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/topology"
+)
+
+// TestDifferentialKeysEngine pins the key-space engine to the direct
+// per-event oracle with the same discipline as the matrix-path
+// differential: exact Sum/Count/Zeros equality on all six topologies,
+// across seeds x curves x radii, for both interaction families. Any
+// divergence is a lost, duplicated, or misrouted communication event.
+func TestDifferentialKeysEngine(t *testing.T) {
+	const order = 6
+	topos := allTopologies()
+	curves := []sfc.Curve{sfc.RowMajor, sfc.Morton, sfc.Gray, sfc.Hilbert}
+	for seed := int64(1); seed <= 2; seed++ {
+		pts, err := dist.SampleUnique(dist.Uniform, rng.New(uint64(seed)), order, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, curve := range curves {
+			a, err := acd.Assign(pts, curve, order, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("seed%d/%s", seed, curve.Name())
+
+			for _, radius := range []int{1, 2} {
+				for _, metric := range []geom.Metric{geom.MetricChebyshev, geom.MetricManhattan} {
+					opts := NFIOptions{Radius: radius, Metric: metric, Engine: keynav.EngineKeys}
+					multi := NFIMulti(a, topos, opts)
+					direct := NFIOptions{Radius: radius, Metric: metric}
+					for i, topo := range topos {
+						if single := NFI(a, topo, direct); multi[i] != single {
+							t.Errorf("%s r=%d %s %s: keys NFI %+v != direct %+v",
+								name, radius, metric, topo.Name(), multi[i], single)
+						}
+					}
+				}
+			}
+
+			multi := FFIMulti(a, topos, FFIOptions{Engine: keynav.EngineKeys})
+			tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+			for i, topo := range topos {
+				if single := FFIFromTree(tree, topo, FFIOptions{}); multi[i] != single {
+					t.Errorf("%s %s: keys FFI %+v != direct %+v", name, topo.Name(), multi[i], single)
+				}
+			}
+			tree.Release()
+		}
+	}
+}
+
+// TestKeysEngineWorkerInvariance requires byte-identical results at
+// every worker count — the keys engine must preserve the sweep
+// scheduler's determinism guarantee.
+func TestKeysEngineWorkerInvariance(t *testing.T) {
+	const order = 6
+	topos := allTopologies()
+	pts, err := dist.SampleUnique(dist.Normal, rng.New(41), order, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := acd.Assign(pts, sfc.Hilbert, order, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfiBase := NFIMulti(a, topos, NFIOptions{Workers: 1, Engine: keynav.EngineKeys})
+	ffiBase := FFIMulti(a, topos, FFIOptions{Workers: 1, Engine: keynav.EngineKeys})
+	for _, workers := range []int{2, 3, 8} {
+		nfi := NFIMulti(a, topos, NFIOptions{Workers: workers, Engine: keynav.EngineKeys})
+		ffi := FFIMulti(a, topos, FFIOptions{Workers: workers, Engine: keynav.EngineKeys})
+		for i := range topos {
+			if nfi[i] != nfiBase[i] {
+				t.Errorf("workers=%d %s: NFI %+v != single-worker %+v", workers, topos[i].Name(), nfi[i], nfiBase[i])
+			}
+			if ffi[i] != ffiBase[i] {
+				t.Errorf("workers=%d %s: FFI %+v != single-worker %+v", workers, topos[i].Name(), ffi[i], ffiBase[i])
+			}
+		}
+	}
+}
+
+// TestKeysEngineSkipsRankTable pins the point of the lazy table: a
+// keys-engine evaluation must never build the assignment's cell->rank
+// table.
+func TestKeysEngineSkipsRankTable(t *testing.T) {
+	const order = 6
+	pts, err := dist.SampleUnique(dist.Uniform, rng.New(43), order, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := acd.Assign(pts, sfc.Hilbert, order, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos := []topology.Topology{topology.NewRing(16)}
+	NFIMulti(a, topos, NFIOptions{Engine: keynav.EngineKeys})
+	FFIMulti(a, topos, FFIOptions{Engine: keynav.EngineKeys})
+	if a.TableBuilt() {
+		t.Fatal("keys engine built the rank table")
+	}
+	// The tree engine does need it.
+	NFIMulti(a, topos, NFIOptions{})
+	if !a.TableBuilt() {
+		t.Fatal("tree engine did not build the rank table")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sfcacd/internal/acd"
 	"sfcacd/internal/commmat"
 	"sfcacd/internal/geom"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/quadtree"
 	"sfcacd/internal/topology"
@@ -39,6 +40,17 @@ import (
 // cells apart and need the default, wider band.
 const tightBand = 256
 
+// ilBand is the scratch-band hint for the key-space engine's
+// interaction-list builder. IL partners sit whole cells apart, so the
+// near-field band is too tight, but the delta profile is still heavily
+// concentrated: at table12 scale (order 8, p = 4096) 95-99% of IL
+// events across the four curves land under delta 512. Banding there
+// shrinks the aggregation grid from 32 MiB (the p = 4096 default) to 8
+// MiB, keeping the count-increment hot path close to cache-resident;
+// the coarse-level pairs whose representative deltas exceed the band
+// stay exact through the overflow log.
+const ilBand = 512
+
 // NFIMatrix aggregates the assignment's near-field event stream in one
 // parallel traversal into a symmetric-canonical matrix: every unordered
 // particle pair within opts.Radius contributes one event between the
@@ -48,6 +60,9 @@ const tightBand = 256
 func NFIMatrix(a *acd.Assignment, opts NFIOptions) *commmat.Matrix {
 	defer obs.StartSpan("commmat.build.nfi").End()
 	opts.normalize()
+	if opts.Engine == keynav.EngineKeys {
+		return nfiMatrixKeys(a, opts)
+	}
 	n := a.N()
 	workers := opts.Workers
 	if workers > n {
@@ -79,6 +94,43 @@ func NFIMatrix(a *acd.Assignment, opts NFIOptions) *commmat.Matrix {
 					}
 				})
 			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return b.Finalize()
+}
+
+// nfiMatrixKeys is NFIMatrix on the key-space engine: the same event
+// stream, with neighbor cells reached by dilated-integer arithmetic on
+// the particle's Morton key and ranks resolved by key search on the
+// assignment's shared occupancy index — no rank table.
+func nfiMatrixKeys(a *acd.Assignment, opts NFIOptions) *commmat.Matrix {
+	ix := a.KeyIndex()
+	n := ix.N()
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	b := commmat.NewBuilderBanded(a.P, workers, tightBand)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := b.Shard(w)
+			ix.VisitUpperNeighborPairs(lo, hi, opts.Radius, opts.Metric, func(mine, r int32) {
+				if r < mine {
+					s.Add(r, mine)
+				} else {
+					s.Add(mine, r)
+				}
+			})
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -160,6 +212,80 @@ func FFIMatricesFromTree(tree *quadtree.RankTree, p, workers int) FFIMatrices {
 						// its children's cells, so (parent, child) is the
 						// canonical src <= dst orientation of the link.
 						si.Add(tree.Rep(t.level-1, x/2, y/2), rep)
+					})
+				}
+			}
+		}(w)
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return FFIMatrices{Interpolation: bi.Finalize(), InteractionList: bl.Finalize()}
+}
+
+// FFIMatricesFromIndex is FFIMatricesFromTree on the key-space engine:
+// it aggregates the identical far-field event streams from the index's
+// per-level occupied-cell slabs. Work is chunked over slab positions
+// instead of grid rows, so task cost tracks occupancy — there are no
+// empty-cell scans — and the interaction lists are enumerated from
+// adjacent parent pairs rather than per-cell candidate windows.
+func FFIMatricesFromIndex(ix *keynav.Index, p, workers int) FFIMatrices {
+	defer obs.StartSpan("commmat.build.ffi").End()
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	bi := commmat.NewBuilderBanded(p, workers, tightBand)
+	bl := commmat.NewBuilderBanded(p, workers, ilBand)
+	type task struct {
+		level       uint
+		lo, hi      int
+		interaction bool
+	}
+	var tasks []task
+	chunkTasks := func(level uint, m int, interaction bool) {
+		chunk := m / (4 * workers)
+		if chunk == 0 {
+			chunk = 1
+		}
+		for lo := 0; lo < m; lo += chunk {
+			hi := lo + chunk
+			if hi > m {
+				hi = m
+			}
+			tasks = append(tasks, task{level: level, lo: lo, hi: hi, interaction: interaction})
+		}
+	}
+	for l := ix.Order; l >= 1; l-- {
+		chunkTasks(l, ix.LevelLen(l), false)
+	}
+	// Interaction-list work is keyed by the parent level: pairs are
+	// enumerated from their row-major-lower parent.
+	for l := uint(2); l <= ix.Order; l++ {
+		chunkTasks(l, ix.LevelLen(l-1), true)
+	}
+	ch := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			si, sl := bi.Shard(w), bl.Shard(w)
+			for t := range ch {
+				if t.interaction {
+					ix.VisitUpperILPairs(t.level, t.lo, t.hi, func(rep, other int32) {
+						if other < rep {
+							sl.Add(other, rep)
+						} else {
+							sl.Add(rep, other)
+						}
+					})
+				} else {
+					// Parent representatives are minima over children, so
+					// (parent, child) is already canonical.
+					ix.VisitParentLinks(t.level, t.lo, t.hi, func(parent, rep int32) {
+						si.Add(parent, rep)
 					})
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"sfcacd/internal/acd"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/quadtree"
 	"sfcacd/internal/topology"
@@ -37,10 +38,24 @@ func NFIMulti(a *acd.Assignment, topos []topology.Topology, opts NFIOptions) []a
 }
 
 // FFIMulti computes the far-field breakdown of the assignment under
-// each of the given topologies, sharing one representative tree and one
-// aggregation of the interaction structure.
+// each of the given topologies, sharing one aggregation of the
+// interaction structure. opts.Engine picks the structure: the dense
+// representative quadtree (built and released here) or the
+// assignment's key-space occupancy index.
 func FFIMulti(a *acd.Assignment, topos []topology.Topology, opts FFIOptions) []FFIResult {
+	if opts.Engine == keynav.EngineKeys {
+		defer obs.StartSpan("accumulation.ffi").End()
+		if opts.Workers <= 0 {
+			opts.Workers = defaultWorkers()
+		}
+		if len(topos) == 0 {
+			return nil
+		}
+		ms := FFIMatricesFromIndex(a.KeyIndex(), topos[0].P(), opts.Workers)
+		return ffiContract(ms, topos, opts.Workers)
+	}
 	tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
+	defer tree.Release()
 	return FFIMultiFromTree(tree, topos, opts)
 }
 
@@ -54,11 +69,18 @@ func FFIMultiFromTree(tree *quadtree.RankTree, topos []topology.Topology, opts F
 	if opts.Workers <= 0 {
 		opts.Workers = defaultWorkers()
 	}
-	res := make([]FFIResult, len(topos))
 	if len(topos) == 0 {
-		return res
+		return make([]FFIResult, 0)
 	}
 	ms := FFIMatricesFromTree(tree, topos[0].P(), opts.Workers)
+	return ffiContract(ms, topos, opts.Workers)
+}
+
+// ffiContract contracts the two far-field matrices against every
+// topology; shared by the tree and keys engines, whose matrices are
+// identical.
+func ffiContract(ms FFIMatrices, topos []topology.Topology, workers int) []FFIResult {
+	res := make([]FFIResult, len(topos))
 	span := obs.StartSpan("commmat.contract")
 	contract := func(t int) {
 		dt := distanceTableFor(topos[t])
@@ -66,7 +88,7 @@ func FFIMultiFromTree(tree *quadtree.RankTree, topos []topology.Topology, opts F
 		res[t].Anterpolation = res[t].Interpolation
 		ms.InteractionList.ContractTableSym(dt, &res[t].InteractionList)
 	}
-	if opts.Workers <= 1 || len(topos) <= 1 {
+	if workers <= 1 || len(topos) <= 1 {
 		for t := range topos {
 			contract(t)
 		}

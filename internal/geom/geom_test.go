@@ -253,3 +253,83 @@ func TestVisitUpperNeighborhoodPartition(t *testing.T) {
 		}
 	}
 }
+
+// TestVisitUpperNeighborhoodBoundary pins the reference clamping
+// semantics at the domain edges against a brute-force oracle: the
+// key-space engine's dilated-integer enumeration must clamp exactly
+// the same way, so any change here is a breaking change for it. Cases
+// include cells within radius of every edge and corner, radius equal
+// to the side, and radius beyond it.
+func TestVisitUpperNeighborhoodBoundary(t *testing.T) {
+	for _, side := range []uint32{1, 2, 4, 8} {
+		for _, m := range []Metric{MetricChebyshev, MetricManhattan} {
+			for _, r := range []int{1, 2, int(side) - 1, int(side), int(side) + 2, 2 * int(side)} {
+				if r < 1 {
+					continue
+				}
+				for y := uint32(0); y < side; y++ {
+					for x := uint32(0); x < side; x++ {
+						p := Pt(x, y)
+						// Brute-force oracle: every in-bounds q after p in
+						// row-major order within distance r.
+						want := map[Point]bool{}
+						for qy := uint32(0); qy < side; qy++ {
+							for qx := uint32(0); qx < side; qx++ {
+								q := Pt(qx, qy)
+								after := qy > y || (qy == y && qx > x)
+								if after && m.Dist(p, q) <= r {
+									want[q] = true
+								}
+							}
+						}
+						got := map[Point]bool{}
+						VisitUpperNeighborhood(p, r, m, side, func(q Point) {
+							if got[q] {
+								t.Fatalf("side=%d %v r=%d p=%v: q=%v visited twice", side, m, r, p, q)
+							}
+							got[q] = true
+						})
+						if len(got) != len(want) {
+							t.Fatalf("side=%d %v r=%d p=%v: visited %d cells, want %d", side, m, r, p, len(got), len(want))
+						}
+						for q := range want {
+							if !got[q] {
+								t.Fatalf("side=%d %v r=%d p=%v: missed %v", side, m, r, p, q)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVisitUpperNeighborhoodOrder pins the exact visit sequence (row
+// by row upward, left to right): deterministic reduction order
+// elsewhere relies on it.
+func TestVisitUpperNeighborhoodOrder(t *testing.T) {
+	var seq []Point
+	VisitUpperNeighborhood(Pt(1, 1), 1, MetricChebyshev, 4, func(q Point) {
+		seq = append(seq, q)
+	})
+	want := []Point{Pt(2, 1), Pt(0, 2), Pt(1, 2), Pt(2, 2)}
+	if len(seq) != len(want) {
+		t.Fatalf("visited %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("visit %d = %v, want %v (full: %v)", i, seq[i], want[i], seq)
+		}
+	}
+	// Radius >= side from the origin covers the whole remaining grid.
+	seq = seq[:0]
+	VisitUpperNeighborhood(Pt(0, 0), 4, MetricChebyshev, 2, func(q Point) {
+		seq = append(seq, q)
+	})
+	want = []Point{Pt(1, 0), Pt(0, 1), Pt(1, 1)}
+	for i := range want {
+		if i >= len(seq) || seq[i] != want[i] {
+			t.Fatalf("origin sweep visited %v, want %v", seq, want)
+		}
+	}
+}

@@ -1,0 +1,553 @@
+// Package keynav is the key-space neighbor engine: it answers the
+// neighbor and interaction-list queries of the FMM communication model
+// by arithmetic on a radix-sorted array of Morton keys, in the style
+// of Holzmüller's algebraic neighbor-finding, instead of probing a
+// dense rank table or walking a quadtree.
+//
+// The Index holds every particle as a (Morton key, rank) pair sorted
+// by key, searched through a small top-level radix directory that cuts
+// a binary search to a couple of iterations inside one cache line.
+// On top of the sorted finest level, each coarser level is one linear
+// scan: the level-l key of a cell is its finest key shifted right by
+// 2(Order-l), so the particles of a cell form a contiguous prefix
+// group and the cell's representative (minimum owning rank, the §III
+// convention) is the group minimum. The per-level slabs replace
+// quadtree.RankTree's dense 4^l arrays: memory is proportional to the
+// number of occupied cells, not to the grid.
+//
+// The quadtree/rank-table path remains the differential oracle: for
+// every query family here there is a test pinning exact equality of
+// the produced event multisets against the tree enumeration.
+package keynav
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"sfcacd/internal/geom"
+	"sfcacd/internal/obs"
+	"sfcacd/internal/sfc"
+)
+
+var buildCounter = obs.GetCounter("keynav.builds")
+
+// Engine selects how the accumulation passes resolve neighbor cells
+// and enumerate the far-field interaction structure.
+type Engine uint8
+
+const (
+	// EngineTree is the original path: the assignment's rank table for
+	// near-field probes and the dense per-level quadtree.RankTree for
+	// the far field. It doubles as the differential oracle.
+	EngineTree Engine = iota
+	// EngineKeys resolves everything on the sorted Morton key array:
+	// no rank table, no tree arenas.
+	EngineKeys
+)
+
+// ParseEngine resolves an engine name; "" means EngineTree.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "tree":
+		return EngineTree, nil
+	case "keys":
+		return EngineKeys, nil
+	}
+	return EngineTree, fmt.Errorf("keynav: unknown engine %q (want tree or keys)", s)
+}
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == EngineKeys {
+		return "keys"
+	}
+	return "tree"
+}
+
+// level is one resolution level of the index: occupied cells as sorted
+// level keys, their representative ranks, the start of each cell's
+// child group in the next-finer level, and a radix directory over the
+// keys. At the finest level keys/reps alias the particle arrays and
+// childStart is nil.
+type level struct {
+	keys       []uint64
+	reps       []int32
+	childStart []int32 // len(keys)+1; indices into the next-finer level
+	dir        []int32 // len (1<<dirBits)+1; bucket b covers dir[b]..dir[b+1]
+	shift      uint    // key -> directory bucket shift
+}
+
+// find returns the position of key k in the level, or -1. The
+// directory narrows the search to one bucket (a few entries), so the
+// binary search typically resolves within a single cache line.
+func (lv *level) find(k uint64) int {
+	b := k >> lv.shift
+	lo, hi := int(lv.dir[b]), int(lv.dir[b+1])
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if lv.keys[m] < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	if lo < len(lv.keys) && lv.keys[lo] == k {
+		return lo
+	}
+	return -1
+}
+
+// lowerBound returns the first position whose key is >= k (len(keys)
+// if none), narrowed through the directory like find.
+func (lv *level) lowerBound(k uint64) int {
+	b := k >> lv.shift
+	lo, hi := int(lv.dir[b]), int(lv.dir[b+1])
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if lv.keys[m] < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// buildDir (re)builds the level's radix directory for the given total
+// key width in bits.
+func (lv *level) buildDir(keyBits uint) {
+	db := dirBits(len(lv.keys), keyBits)
+	lv.shift = keyBits - db
+	size := (1 << db) + 1
+	lv.dir = grow(lv.dir, size)
+	for i := range lv.dir {
+		lv.dir[i] = 0
+	}
+	// Count per bucket (shifted one slot so the prefix sum lands on
+	// bucket starts), then accumulate.
+	for _, k := range lv.keys {
+		lv.dir[(k>>lv.shift)+1]++
+	}
+	for i := 1; i < size; i++ {
+		lv.dir[i] += lv.dir[i-1]
+	}
+}
+
+// dirBits sizes a directory at roughly one bucket per four keys,
+// bounded by the key width and a 4M-entry cap.
+func dirBits(n int, keyBits uint) uint {
+	b := uint(bits.Len(uint(n)))
+	if b > 2 {
+		b -= 2
+	} else {
+		b = 0
+	}
+	if b > keyBits {
+		b = keyBits
+	}
+	if b > 22 {
+		b = 22
+	}
+	return b
+}
+
+// grow returns s resized to n, reallocating only when the capacity is
+// short. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Index is the key-space occupancy index of one assignment: particles
+// as sorted (Morton key, rank) pairs plus the per-level representative
+// slabs. Build with Build; recycle with Release.
+type Index struct {
+	// Order is the finest resolution order (grid side 2^Order).
+	Order uint
+	// lv[l] holds level l; lv[Order] is the particle level.
+	lv []level
+	// keys/ranks back the finest level (also aliased by lv[Order]).
+	keys  []uint64
+	ranks []int32
+}
+
+// indexPool recycles Index slabs between builds: parallel sweep cells
+// each build one per assignment, so pooling keeps the allocator out of
+// the sweep hot path (same discipline as quadtree's slab pool).
+var indexPool = sync.Pool{New: func() any { return new(Index) }}
+
+// Build constructs the index from particle cells and their owning
+// ranks (parallel slices, as held by acd.Assignment). The inputs are
+// not modified and not retained.
+func Build(order uint, pts []geom.Point, ranks []int32) *Index {
+	if len(pts) != len(ranks) {
+		panic("keynav: pts and ranks length mismatch")
+	}
+	defer obs.StartSpan("keybuild").End()
+	buildCounter.Inc()
+	n := len(pts)
+	ix := indexPool.Get().(*Index)
+	ix.Order = order
+	ix.keys = grow(ix.keys, n)
+	ix.ranks = grow(ix.ranks, n)
+	sorted := true
+	for i, p := range pts {
+		k := sfc.MortonKey(p.X, p.Y)
+		ix.keys[i] = k
+		ix.ranks[i] = ranks[i]
+		if i > 0 && k < ix.keys[i-1] {
+			sorted = false
+		}
+	}
+	// Morton particle order arrives sorted; the other curves pay one
+	// radix pair sort.
+	if !sorted {
+		sortPairs(ix.keys, ix.ranks, 2*order)
+	}
+	ix.buildLevels()
+	return ix
+}
+
+// buildLevels derives every coarser level from the finest by one
+// linear scan per level over right-shifted keys, taking prefix-group
+// minima as representatives.
+func (ix *Index) buildLevels() {
+	order := ix.Order
+	if cap(ix.lv) < int(order)+1 {
+		lv := make([]level, order+1)
+		copy(lv, ix.lv)
+		ix.lv = lv
+	}
+	ix.lv = ix.lv[:order+1]
+	fin := &ix.lv[order]
+	fin.keys, fin.reps, fin.childStart = ix.keys, ix.ranks, nil
+	fin.buildDir(2 * order)
+	for l := int(order) - 1; l >= 0; l-- {
+		src := &ix.lv[l+1]
+		dst := &ix.lv[l]
+		// A parent has at least one child, so the level can only
+		// shrink; sizing at the child count avoids a counting pass.
+		dst.keys = grow(dst.keys, len(src.keys))[:0]
+		dst.reps = grow(dst.reps, len(src.keys))[:0]
+		dst.childStart = grow(dst.childStart, len(src.keys)+1)[:0]
+		for i, k := range src.keys {
+			pk := k >> 2
+			if j := len(dst.keys) - 1; j >= 0 && dst.keys[j] == pk {
+				if r := src.reps[i]; r < dst.reps[j] {
+					dst.reps[j] = r
+				}
+				continue
+			}
+			dst.keys = append(dst.keys, pk)
+			dst.reps = append(dst.reps, src.reps[i])
+			dst.childStart = append(dst.childStart, int32(i))
+		}
+		dst.childStart = append(dst.childStart, int32(len(src.keys)))
+		dst.buildDir(2 * uint(l))
+	}
+}
+
+// Release returns the index's slabs to the build pool. The index must
+// not be used afterwards. Only owners that know the index is dead (the
+// sweep scheduler's cells, via acd.Assignment.Release) should call it.
+func (ix *Index) Release() {
+	if ix == nil {
+		return
+	}
+	indexPool.Put(ix)
+}
+
+// N returns the particle count.
+func (ix *Index) N() int { return len(ix.keys) }
+
+// LevelLen returns the number of occupied cells at a level.
+func (ix *Index) LevelLen(l uint) int { return len(ix.lv[l].keys) }
+
+// RankAt returns the rank owning the particle in the given finest cell,
+// or -1 if the cell is empty.
+func (ix *Index) RankAt(p geom.Point) int32 {
+	fin := &ix.lv[ix.Order]
+	if i := fin.find(sfc.MortonKey(p.X, p.Y)); i >= 0 {
+		return fin.reps[i]
+	}
+	return -1
+}
+
+// Rep returns the representative (minimum) rank of cell (x, y) at the
+// given level, or -1 if the cell is empty — the RankTree.Rep oracle's
+// signature, answered by key search.
+func (ix *Index) Rep(l uint, x, y uint32) int32 {
+	if l > ix.Order {
+		panic(fmt.Sprintf("keynav: level %d beyond order %d", l, ix.Order))
+	}
+	side := geom.Side(l)
+	if x >= side || y >= side {
+		panic(fmt.Sprintf("keynav: cell (%d,%d) outside level %d", x, y, l))
+	}
+	if i := ix.lv[l].find(sfc.MortonKey(x, y)); i >= 0 {
+		return ix.lv[l].reps[i]
+	}
+	return -1
+}
+
+// nearScan bounds the sequential probe of rankNear before it falls
+// back to the directory search: eight keys is one cache line of the
+// sorted array.
+const nearScan = 8
+
+// rankNear resolves the rank of the cell with key kt, hinted that the
+// probe originates from sorted position i. Neighbor cells usually sit
+// a handful of positions ahead in key order, so a short forward scan
+// answers most probes (including definite misses, when the scan passes
+// kt) without touching the directory.
+func (ix *Index) rankNear(i int, kt uint64) int32 {
+	fin := &ix.lv[ix.Order]
+	if kt > fin.keys[i] {
+		end := i + nearScan
+		if end > len(fin.keys) {
+			end = len(fin.keys)
+		}
+		for j := i + 1; j < end; j++ {
+			if kj := fin.keys[j]; kj >= kt {
+				if kj == kt {
+					return fin.reps[j]
+				}
+				return -1
+			}
+		}
+		if end == len(fin.keys) {
+			return -1
+		}
+	}
+	if j := fin.find(kt); j >= 0 {
+		return fin.reps[j]
+	}
+	return -1
+}
+
+// VisitUpperNeighborPairs calls fn(rank, neighborRank) for every
+// occupied cell q within metric distance radius of particle i that
+// follows i's cell in row-major order, for every particle i in
+// [lo, hi). The enumeration mirrors geom.VisitUpperNeighborhood
+// exactly (same clamping at the grid edges), so over the full particle
+// range the emitted rank pairs are the near-field upper event stream.
+// Neighbor cells are reached by dilated-integer arithmetic on the key
+// and resolved against the sorted array.
+func (ix *Index) VisitUpperNeighborPairs(lo, hi, radius int, m geom.Metric, fn func(rank, neighbor int32)) {
+	if radius <= 0 {
+		return
+	}
+	side := int(geom.Side(ix.Order))
+	fin := &ix.lv[ix.Order]
+	for i := lo; i < hi; i++ {
+		x, y := sfc.MortonCoords(fin.keys[i])
+		mine := fin.reps[i]
+		for dy := 0; dy <= radius; dy++ {
+			yq := int(y) + dy
+			if yq >= side {
+				break
+			}
+			span := radius
+			if m == geom.MetricManhattan {
+				span = radius - dy
+			}
+			x0 := int(x) - span
+			if dy == 0 {
+				x0 = int(x) + 1
+			}
+			if x0 < 0 {
+				x0 = 0
+			}
+			x1 := int(x) + span
+			if x1 >= side {
+				x1 = side - 1
+			}
+			ypart := sfc.MortonYPart(uint32(yq))
+			xpart := sfc.MortonXPart(uint32(x0))
+			if dy == 0 {
+				// Same-row probes start at x+1, whose key follows the
+				// particle's own sorted position: hint from there.
+				for xq := x0; xq <= x1; xq++ {
+					kt := ypart | xpart
+					xpart = sfc.MortonIncX(xpart)
+					if r := ix.rankNear(i, kt); r >= 0 {
+						fn(mine, r)
+					}
+				}
+				continue
+			}
+			// Rows above the particle sit far from position i in key
+			// order, but the row's own targets ascend, so after one
+			// directory placement a cursor rides the row: each next
+			// target is resolved by a short forward scan from the
+			// previous one, falling back to the directory only when
+			// the gap holds more than a cache line of other-row keys.
+			c := -1
+			for xq := x0; xq <= x1; xq++ {
+				kt := ypart | xpart
+				xpart = sfc.MortonIncX(xpart)
+				j := -1
+				if c >= 0 && kt > fin.keys[c] {
+					end := c + 1 + nearScan
+					if end > len(fin.keys) {
+						end = len(fin.keys)
+					}
+					for t := c + 1; t < end; t++ {
+						if fin.keys[t] >= kt {
+							j = t
+							break
+						}
+					}
+					if j < 0 {
+						if end == len(fin.keys) {
+							// Every remaining key is below kt; the rest
+							// of the row is unoccupied.
+							break
+						}
+						j = fin.lowerBound(kt)
+					}
+				} else {
+					j = fin.lowerBound(kt)
+				}
+				if j < len(fin.keys) && fin.keys[j] == kt {
+					fn(mine, fin.reps[j])
+					c = j
+				} else {
+					c = j - 1
+				}
+			}
+		}
+	}
+}
+
+// VisitParentLinks calls fn(parentRep, rep) for every occupied cell in
+// positions [lo, hi) of level l >= 1 — the interpolation link stream.
+// The parent level is walked in lockstep (both levels are sorted by
+// key and children form contiguous groups), so after one search to
+// place the cursor the pass is two linear scans.
+func (ix *Index) VisitParentLinks(l uint, lo, hi int, fn func(parentRep, rep int32)) {
+	if l < 1 || lo >= hi {
+		return
+	}
+	cur := &ix.lv[l]
+	par := &ix.lv[l-1]
+	j := par.find(cur.keys[lo] >> 2)
+	for i := lo; i < hi; i++ {
+		pk := cur.keys[i] >> 2
+		for par.keys[j] != pk {
+			j++
+		}
+		fn(par.reps[j], cur.reps[i])
+	}
+}
+
+// parentUpper lists the row-major-upper neighbor offsets of a parent
+// cell; visiting each unordered pair of Chebyshev-adjacent parents
+// exactly once partitions the interaction lists, because every
+// interaction-list pair at level l lives between two distinct adjacent
+// cells at level l-1 (children of one parent are mutually adjacent and
+// never in each other's lists).
+var parentUpper = [4]struct{ dx, dy int32 }{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+
+// ilCross[o][sa] is the bitmask of child sub-positions sb of the o-th
+// upper parent neighbor whose cells are interaction-list partners
+// (Chebyshev distance > 1) of the child at sub-position sa. Sub
+// positions are the low two key bits: bit 0 = x, bit 1 = y.
+var ilCross [4][4]uint8
+
+// sibDelta[sa][o] is the key delta of the o-th upper parent neighbor
+// when it stays inside sa's aligned sibling quad (0 when the offset
+// crosses the quad boundary and needs a directory probe): incrementing
+// an even coordinate only sets the low dilated bit, so the sibling's
+// key is the parent's plus the sub-position difference.
+var sibDelta = [4][4]uint8{
+	{1, 0, 2, 3}, // (even, even): +x, +y, and +x+y are siblings
+	{0, 1, 2, 0}, // (odd, even): -x+y and +y are siblings
+	{1, 0, 0, 0}, // (even, odd): +x is a sibling
+	{0, 0, 0, 0}, // (odd, odd): every upper offset leaves the quad
+}
+
+func init() {
+	for o, off := range parentUpper {
+		for sa := 0; sa < 4; sa++ {
+			for sb := 0; sb < 4; sb++ {
+				dx := int(2*off.dx) + sb&1 - sa&1
+				dy := int(2*off.dy) + sb>>1 - sa>>1
+				if max(abs(dx), abs(dy)) > 1 {
+					ilCross[o][sa] |= 1 << sb
+				}
+			}
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// VisitUpperILPairs calls fn(rep, otherRep) once for every unordered
+// interaction-list pair of occupied cells at level l >= 2 whose
+// parents lie in positions [plo, phi) of level l-1 (the pair is
+// attributed to its row-major-lower parent). Instead of scanning the
+// 6x6 candidate window around every cell, the pass enumerates adjacent
+// parent pairs — four upper neighbor probes per occupied parent — and
+// crosses their child groups, which are contiguous runs of the level-l
+// slab, filtering sibling-adjacency by the precomputed ilCross masks.
+func (ix *Index) VisitUpperILPairs(l uint, plo, phi int, fn func(rep, other int32)) {
+	if l < 2 {
+		return
+	}
+	par := &ix.lv[l-1]
+	ch := &ix.lv[l]
+	pside := int32(geom.Side(l - 1))
+	for j := plo; j < phi; j++ {
+		kj := par.keys[j]
+		px, py := sfc.MortonCoords(kj)
+		aLo, aHi := par.childStart[j], par.childStart[j+1]
+		sa := kj & 3
+		for o, off := range parentUpper {
+			var jq int
+			if d := sibDelta[sa][o]; d != 0 {
+				// The neighbor is a sibling within the same aligned
+				// 2x2 quad (always inside the grid): its key is kj+d,
+				// and the only keys in (kj, kj+3] are siblings, so the
+				// next <= 3 slab entries decide occupancy without a
+				// directory probe.
+				kt := kj + uint64(d)
+				jq = -1
+				for t := j + 1; t < len(par.keys) && par.keys[t] <= kt; t++ {
+					if par.keys[t] == kt {
+						jq = t
+						break
+					}
+				}
+			} else {
+				qx := int32(px) + off.dx
+				qy := int32(py) + off.dy
+				if qx < 0 || qx >= pside || qy >= pside {
+					continue
+				}
+				jq = par.find(sfc.MortonKey(uint32(qx), uint32(qy)))
+			}
+			if jq < 0 {
+				continue
+			}
+			bLo, bHi := par.childStart[jq], par.childStart[jq+1]
+			for ai := aLo; ai < aHi; ai++ {
+				bm := ilCross[o][ch.keys[ai]&3]
+				ra := ch.reps[ai]
+				for bi := bLo; bi < bHi; bi++ {
+					if bm>>(ch.keys[bi]&3)&1 != 0 {
+						fn(ra, ch.reps[bi])
+					}
+				}
+			}
+		}
+	}
+}

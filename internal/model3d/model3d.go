@@ -13,6 +13,7 @@ import (
 	"sfcacd/internal/acd"
 	"sfcacd/internal/geom"
 	"sfcacd/internal/geom3"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/obs"
 	"sfcacd/internal/octree"
 	"sfcacd/internal/partition"
@@ -35,6 +36,25 @@ type Assignment struct {
 	// cellRank maps occupied cells to ranks (sparse: 3D grids are
 	// large).
 	cellRank map[uint64]int32
+	// keyIx is the flat Morton3-key index of the keys engine, built on
+	// first use.
+	ixOnce sync.Once
+	keyIx  *keynav.Flat
+}
+
+// keyIndex returns the assignment's flat key-space index, building it
+// on first call.
+func (a *Assignment) keyIndex() *keynav.Flat {
+	a.ixOnce.Do(func() {
+		keys := make([]uint64, len(a.Particles))
+		ranks := make([]int32, len(a.Particles))
+		for i, p := range a.Particles {
+			keys[i] = sfc.Morton3Key(p.X, p.Y, p.Z)
+			ranks[i] = a.Ranks[i]
+		}
+		a.keyIx = keynav.NewFlat(keys, ranks, 3*a.Order)
+	})
+	return a.keyIx
 }
 
 // Assign orders particles along the 3D curve, chunks them, and
@@ -106,6 +126,12 @@ type NFIOptions struct {
 	Metric geom.Metric
 	// Workers caps worker goroutines; 0 means GOMAXPROCS.
 	Workers int
+	// Engine selects neighbor resolution: the assignment's sparse cell
+	// map (tree, the default and oracle) or a flat key-space index over
+	// 3D Morton keys (keys). Results are identical; the 3D grid is
+	// always too large for a dense table, so the keys engine replaces
+	// every map probe with a directory-narrowed key search.
+	Engine keynav.Engine
 }
 
 // NFI computes the 3D near-field ACD.
@@ -116,6 +142,13 @@ func NFI(a *Assignment, topo topology.Topology, opts NFIOptions) acd.Accumulator
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	// rank resolves a neighbor cell to its owning rank under the
+	// selected engine.
+	rank := a.RankAt
+	if opts.Engine == keynav.EngineKeys {
+		flat := a.keyIndex()
+		rank = func(q geom3.Point3) int32 { return flat.Rank(sfc.Morton3Key(q.X, q.Y, q.Z)) }
 	}
 	n := a.N()
 	workers := opts.Workers
@@ -136,7 +169,7 @@ func NFI(a *Assignment, topo topology.Topology, opts NFIOptions) acd.Accumulator
 				p := a.Particles[i]
 				mine := int(a.Ranks[i])
 				geom3.VisitNeighborhood(p, opts.Radius, opts.Metric, a.side, func(q geom3.Point3) {
-					if r := a.RankAt(q); r >= 0 {
+					if r := rank(q); r >= 0 {
 						local.Add(topo.Distance(mine, int(r)))
 					}
 				})

@@ -8,6 +8,7 @@ import (
 	"sfcacd/internal/dist"
 	"sfcacd/internal/geom"
 	"sfcacd/internal/geom3"
+	"sfcacd/internal/keynav"
 	"sfcacd/internal/rng"
 	"sfcacd/internal/sfc"
 	"sfcacd/internal/topology"
@@ -259,4 +260,28 @@ func TestANNS3DPanicsOn2DCurve(t *testing.T) {
 		}
 	}()
 	ANNS3D(sfc.HilbertND{N: 2}, 2, 1)
+}
+
+// TestNFIKeysEngineMatchesTree pins the 3D keys engine (flat Morton3
+// index) to the sparse-map oracle: identical accumulators across
+// curves and radii.
+func TestNFIKeysEngineMatchesTree(t *testing.T) {
+	const order = 4
+	pts := sample3(t, dist.Normal3, 7, order, 250)
+	topo := topology.NewTorus3D(2, sfc.HilbertND{N: 3})
+	for _, curve := range sfc.AllND(3) {
+		a, err := Assign(pts, curve, order, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, radius := range []int{1, 2} {
+			for _, m := range []geom.Metric{geom.MetricChebyshev, geom.MetricManhattan} {
+				want := NFI(a, topo, NFIOptions{Radius: radius, Metric: m})
+				got := NFI(a, topo, NFIOptions{Radius: radius, Metric: m, Engine: keynav.EngineKeys})
+				if got != want {
+					t.Fatalf("%s r=%d %s: keys %+v != tree %+v", curve.Name(), radius, m, got, want)
+				}
+			}
+		}
+	}
 }

@@ -1,0 +1,39 @@
+package quadtree
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkInteractionList measures the far-field enumeration cost the
+// key-space engine replaces: one full sweep of
+// VisitUpperInteractionPairs over every level of the tree — the
+// commmat.build.ffi hot loop. The dense row scans visit every grid
+// cell, occupied or not, so cost scales with 4^order rather than with
+// occupancy; compare with the occupancy-proportional keynav path
+// (BenchmarkKeyNavILPairs in internal/keynav).
+func BenchmarkInteractionList(b *testing.B) {
+	for _, tc := range []struct {
+		order uint
+		n     int
+	}{{6, 1000}, {8, 15625}} {
+		pts := benchPoints(tc.n, tc.order)
+		ranks := make([]int32, len(pts))
+		for i := range ranks {
+			ranks[i] = int32(i % 64)
+		}
+		tree := BuildRankTree(tc.order, pts, ranks)
+		b.Run(fmt.Sprintf("order%d_n%d", tc.order, tc.n), func(b *testing.B) {
+			var events int
+			for i := 0; i < b.N; i++ {
+				for l := uint(2); l <= tree.Order; l++ {
+					tree.VisitUpperInteractionPairs(l, 0, 1<<l, func(rep, other int32) {
+						events++
+					})
+				}
+			}
+			_ = events
+		})
+		tree.Release()
+	}
+}
