@@ -5,19 +5,33 @@
 // single computation; a bounded worker pool with an admission queue
 // applies backpressure instead of unbounded latency.
 //
+// Multiple daemons form a serving fleet: a consistent-hash ring over
+// the content-address key assigns every request an owner replica,
+// requests landing elsewhere are proxied to the owner, and local cache
+// misses peer-fill from ring siblings before recomputing. Fleet mode
+// is enabled by -advertise; a fleet of one behaves exactly like the
+// plain daemon.
+//
 // Usage:
 //
 //	acdserverd                                # listen on :8080
 //	acdserverd -addr :9000 -workers 4         # bounded pool
 //	acdserverd -cachedir /var/cache/sfcacd    # persistent result store
+//	acdserverd -addr :8081 -node-id a -advertise http://10.0.0.1:8081 \
+//	           -peers b=http://10.0.0.2:8081  # two-node fleet member
 //
 // API:
 //
 //	POST /v1/experiments/{name}   JSON Params in (optional; merged over
 //	                              ?preset=scaled|paper), result +
-//	                              manifest out, X-Cache: hit|miss|coalesced
+//	                              manifest out, X-Cache: hit|miss|coalesced|peer
+//	POST /v1/batch                parameter sweep fan-out; streams each
+//	                              cell completion as SSE (NDJSON via
+//	                              Accept: application/x-ndjson)
 //	GET  /v1/experiments          registry listing
-//	GET  /healthz                 liveness
+//	GET  /internal/v1/peek/{key}  fleet peer protocol: presence probe
+//	GET  /internal/v1/result/{key} fleet peer protocol: entry transfer
+//	GET  /healthz                 liveness (+ node id and membership in fleet mode)
 //	GET  /readyz                  readiness (503 once shutdown begins)
 //	GET  /metrics                 Prometheus text exposition (JSON via
 //	                              Accept: application/json or /metrics.json)
@@ -37,14 +51,31 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sfcacd/internal/faultinject"
+	"sfcacd/internal/fleet"
 	"sfcacd/internal/obs/tracestore"
 	"sfcacd/internal/resultcache"
 	"sfcacd/internal/serve"
 )
+
+// peerList collects repeated -peers flags (each itself may be a
+// comma-separated list of "id=url" or bare "url" members).
+type peerList []string
+
+func (p *peerList) String() string { return strings.Join(*p, ",") }
+
+func (p *peerList) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*p = append(*p, part)
+		}
+	}
+	return nil
+}
 
 func main() {
 	os.Exit(run())
@@ -71,7 +102,15 @@ func run() int {
 		traceSeed = flag.Uint64("trace-seed", 0,
 			"seed for the trace sampling/ID streams (0 = from the clock)")
 		verbose = flag.Bool("v", false, "enable debug-level logging")
+
+		nodeID    = flag.String("node-id", "", "this node's name on the fleet ring (default: the advertise URL)")
+		advertise = flag.String("advertise", "", "base URL peers reach this node at; enables fleet mode")
+		peerTO    = flag.Duration("peer-timeout", fleet.DefaultTimeout, "deadline for one peer cache-protocol exchange")
+		rateLimit = flag.Float64("rate-limit", 0, "per-client requests/second on /v1/ (0 = unlimited; batches cost one per cell)")
+		rateBurst = flag.Int("rate-burst", 0, "per-client token-bucket capacity (0 = twice -rate-limit)")
 	)
+	var peers peerList
+	flag.Var(&peers, "peers", "fleet members as id=url or url, comma-separated or repeated")
 	flag.Parse()
 
 	level := slog.LevelInfo
@@ -95,6 +134,8 @@ func run() int {
 		CacheBytes:     *cacheBytes,
 		ComputeTimeout: *computeTO,
 		Faults:         injector,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 		Traces: tracestore.New(tracestore.Options{
 			Capacity:   *traceCap,
 			SlowestK:   *traceSlow,
@@ -114,9 +155,39 @@ func run() int {
 	}
 	server := serve.New(opts)
 
+	handler := serve.NewHandler(server)
+	if *advertise != "" {
+		node, err := fleet.New(fleet.Config{
+			NodeID:    *nodeID,
+			Advertise: *advertise,
+			Peers:     peers,
+			Timeout:   *peerTO,
+			Faults:    injector,
+			Store:     server,
+		})
+		if err != nil {
+			logger.Error("fleet", "err", err)
+			return 1
+		}
+		server.SetPeers(node)
+		mux := http.NewServeMux()
+		mux.Handle("/internal/v1/", node.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		ids := make([]string, 0, len(node.Members()))
+		for _, m := range node.Members() {
+			ids = append(ids, m.ID)
+		}
+		logger.Info("fleet member", "node", node.Self().ID,
+			"advertise", node.Self().URL, "members", strings.Join(ids, ","))
+	} else if len(peers) > 0 {
+		logger.Error("fleet", "err", "-peers requires -advertise (the URL peers reach this node at)")
+		return 1
+	}
+
 	httpServer := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(logger, serve.NewHandler(server)),
+		Handler:           logRequests(logger, handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

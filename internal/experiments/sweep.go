@@ -68,6 +68,14 @@ func innerWorkers(requested, pool int) int {
 	return w
 }
 
+// RunCells exposes the sweep scheduler beyond the experiment runners:
+// the serving layer's batch endpoint fans request cells out across the
+// fleet with exactly the cell-handout, cancellation, and error
+// semantics the in-process sweeps use. See runCells for the contract.
+func RunCells(ctx context.Context, workers, cells int, run func(cell int) error) error {
+	return runCells(ctx, workers, cells, run)
+}
+
 // runCells executes cells 0..cells-1 on a pool of `workers` goroutines
 // (use sweepPool to size it). run must be safe for concurrent calls on
 // distinct cell indices and must write its output only to slots owned

@@ -1,0 +1,82 @@
+package resultcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func wireTestEntry() Entry {
+	k := KeyFor("table12", "params/v1:n=400", "sfcacd/results/v1")
+	return Entry{
+		Key:        k,
+		Experiment: "table12",
+		Params:     json.RawMessage(`{"Particles":400}`),
+		Result:     json.RawMessage(`[{"acd":1.5}]`),
+		Manifest:   json.RawMessage(`{"schema":"sfcacd/run-manifest/v1"}`),
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	e := wireTestEntry()
+	data, err := Export(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(data, e.Key)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if got.Key != e.Key || got.Experiment != e.Experiment ||
+		!bytes.Equal(got.Params, e.Params) || !bytes.Equal(got.Result, e.Result) ||
+		!bytes.Equal(got.Manifest, e.Manifest) {
+		t.Errorf("round trip changed the entry:\n got %+v\nwant %+v", got, e)
+	}
+}
+
+// TestImportRejectsCorruption flips every byte of the wire form in
+// turn; no corruption may import successfully (JSON that fails to
+// parse and JSON that parses to a different payload are both caught).
+func TestImportRejectsCorruption(t *testing.T) {
+	e := wireTestEntry()
+	data, err := Export(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xff
+		if _, err := Import(mut, e.Key); err == nil {
+			t.Fatalf("corruption at byte %d imported cleanly: %s", i, mut)
+		}
+	}
+}
+
+func TestImportRejectsWrongKey(t *testing.T) {
+	e := wireTestEntry()
+	data, err := Export(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := KeyFor("fig6", "params/v1:n=400", "sfcacd/results/v1")
+	if _, err := Import(data, other); err == nil {
+		t.Error("entry imported under a key it does not answer")
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := KeyFor("a", "b", "c")
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Errorf("ParseKey(%q) = %v", k.String(), got)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Error("bad hex parsed")
+	}
+	if _, err := ParseKey("abcd"); err == nil {
+		t.Error("short key parsed")
+	}
+}

@@ -6,13 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"sfcacd/internal/experiments"
 	"sfcacd/internal/obs"
+	"sfcacd/internal/resultcache"
 )
 
 // maxBodyBytes bounds a request body; parameter JSON is tiny.
@@ -20,6 +23,17 @@ const maxBodyBytes = 1 << 20
 
 // maxTraceIDLen bounds an honored X-Trace-Id header.
 const maxTraceIDLen = 64
+
+// HeaderFleetForwarded marks a request a fleet node already routed:
+// the receiver serves it locally instead of forwarding again (loop
+// prevention), and the rate limiter skips it (the client was charged
+// at the entry node). Clients can also set it to pin a request to the
+// node they addressed.
+const HeaderFleetForwarded = "X-Fleet-Forwarded"
+
+// HeaderClientID keys per-client rate limiting; absent, the client's
+// remote address stands in.
+const HeaderClientID = "X-Client-Id"
 
 // Envelope is the JSON body of a successful experiment response. Raw
 // fields replay the cached bytes verbatim, so the body of a cache hit
@@ -40,6 +54,9 @@ type errorBody struct {
 	// Timeout is the per-request compute deadline that a 504 ran into,
 	// as a Go duration string.
 	Timeout string `json:"timeout,omitempty"`
+	// RetryAfter mirrors the Retry-After header of a 429, as a Go
+	// duration string.
+	RetryAfter string `json:"retry_after,omitempty"`
 }
 
 // listEntry is one experiment in the GET /v1/experiments listing.
@@ -75,11 +92,9 @@ const defaultScaleSteps = 2
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments/{name}", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/experiments", handleList)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
@@ -92,7 +107,70 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return s.withTracing(mux)
+	return s.withTracing(s.withRateLimit(mux))
+}
+
+// withRateLimit enforces the per-client token bucket on /v1/ routes.
+// Fleet-forwarded requests pass through: the originating client was
+// already charged at the node it addressed, and internal traffic must
+// not starve under a client's quota. Batch requests are charged one
+// token here and the remaining cells in handleBatch once the cell
+// count is known.
+func (s *Server) withRateLimit(next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") || r.Header.Get(HeaderFleetForwarded) != "" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if ok, retry := s.limiter.Allow(clientID(r), 1); !ok {
+			writeRateLimited(w, retry)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientID resolves the quota identity of a request: a well-formed
+// X-Client-Id header, else the remote host.
+func clientID(r *http.Request) string {
+	if id := sanitizeTraceID(r.Header.Get(HeaderClientID)); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeRateLimited answers 429 with a Retry-After the client can back
+// off on.
+func writeRateLimited(w http.ResponseWriter, retry time.Duration) {
+	secs := int(retry.Seconds()) + 1
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, errorBody{
+		Error:      "serve: rate limit exceeded",
+		RetryAfter: retry.Round(time.Millisecond).String(),
+	})
+}
+
+// handleHealth answers GET /healthz: plain liveness for the
+// single-process daemon, and — in fleet mode — the node's identity
+// and membership so operators can read the topology off any replica.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.peers == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"node":    s.peers.Self().ID,
+		"members": s.peers.Members(),
+	})
 }
 
 // withTracing gives every non-/debug/ request a request-scoped trace:
@@ -215,27 +293,30 @@ func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 // handleRun answers POST /v1/experiments/{name}. The body, when
 // present, is a partial experiments.Params JSON object merged over the
 // preset selected by ?preset=scaled (default) or ?preset=paper.
+//
+// In fleet mode, a request whose content address is owned by another
+// replica is proxied there (unless already forwarded once), so the
+// owner computes and caches it; any proxy failure degrades to local
+// serving.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	spec, ok := experiments.Lookup(name)
-	if !ok {
+	if _, ok := experiments.Lookup(name); !ok {
 		writeError(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("unknown experiment %q", name)})
 		return
 	}
-	params := spec.Paper
-	switch preset := r.URL.Query().Get("preset"); preset {
-	case "", "scaled":
-		params = params.Scale(defaultScaleSteps)
-	case "paper":
-	default:
-		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown preset %q (use scaled or paper)", preset)})
+	preset := r.URL.Query().Get("preset")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("reading body: %v", err)})
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	// io.EOF means an absent body: run the preset as-is.
-	if err := dec.Decode(&params); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad params body: %v", err)})
+	params, perr := mergeParams(name, preset, body)
+	if perr != nil {
+		writeError(w, http.StatusBadRequest, errorBody{Error: perr.Error()})
+		return
+	}
+
+	if s.forwardToOwner(w, r, name, preset, body, params) {
 		return
 	}
 
@@ -245,13 +326,88 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Cache", string(resp.Status))
-	writeJSON(w, http.StatusOK, Envelope{
-		Experiment: resp.Entry.Experiment,
-		Key:        resp.Entry.Key.String(),
-		Params:     resp.Entry.Params,
-		Result:     resp.Entry.Result,
-		Manifest:   resp.Entry.Manifest,
-	})
+	writeJSON(w, http.StatusOK, envelopeOf(resp.Entry))
+}
+
+// mergeParams resolves the effective parameters of a request: the
+// named experiment's preset (scaled by default, ?preset=paper for
+// paper scale) with the body's partial Params object merged over it.
+func mergeParams(name, preset string, body []byte) (experiments.Params, error) {
+	spec, ok := experiments.Lookup(name)
+	if !ok {
+		return experiments.Params{}, fmt.Errorf("unknown experiment %q", name)
+	}
+	params := spec.Paper
+	switch preset {
+	case "", "scaled":
+		params = params.Scale(defaultScaleSteps)
+	case "paper":
+	default:
+		return experiments.Params{}, fmt.Errorf("unknown preset %q (use scaled or paper)", preset)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	// io.EOF means an absent body: run the preset as-is.
+	if err := dec.Decode(&params); err != nil && !errors.Is(err, io.EOF) {
+		return experiments.Params{}, fmt.Errorf("bad params body: %v", err)
+	}
+	return params, nil
+}
+
+// envelopeOf wraps a cached entry for the response body. Raw fields
+// replay the cached bytes, so every node answering from the same
+// entry produces byte-identical bodies.
+func envelopeOf(e resultcache.Entry) Envelope {
+	return Envelope{
+		Experiment: e.Experiment,
+		Key:        e.Key.String(),
+		Params:     e.Params,
+		Result:     e.Result,
+		Manifest:   e.Manifest,
+	}
+}
+
+// forwardCache maps the owner's X-Cache onto the client-facing value:
+// a hit on the owner was, from the node the client addressed, served
+// out of a peer's cache.
+func forwardCache(cache string) string {
+	if cache == string(StatusHit) {
+		return string(StatusPeer)
+	}
+	return cache
+}
+
+// forwardToOwner proxies the request to the replica that owns its
+// content address and relays the answer, reporting whether it wrote
+// the response. It declines (returns false, serving locally) outside
+// fleet mode, for requests already forwarded once, for keys this node
+// owns, for parameters local validation would reject anyway — and,
+// crucially, on any forwarding error, which is the fleet's graceful
+// degradation: a dead owner costs a local recompute, never an error.
+func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, name, preset string, body []byte, params experiments.Params) bool {
+	if s.peers == nil || r.Header.Get(HeaderFleetForwarded) != "" {
+		return false
+	}
+	if err := params.Validate(); err != nil {
+		return false // let the local path produce the 400
+	}
+	owner, self := s.peers.Owner(RequestKey(name, params))
+	if self {
+		return false
+	}
+	fr, err := s.peers.Forward(r.Context(), owner, name, preset, body)
+	if err != nil {
+		return false
+	}
+	if cache := forwardCache(fr.Cache); cache != "" {
+		w.Header().Set("X-Cache", cache)
+	}
+	w.Header().Set("X-Fleet-Node", owner.ID)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(fr.Body)))
+	w.WriteHeader(fr.StatusCode)
+	w.Write(fr.Body)
+	return true
 }
 
 // writeDoError maps Server.Do errors onto HTTP statuses. Every error

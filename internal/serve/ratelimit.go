@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"sfcacd/internal/obs"
+)
+
+// maxTrackedClients bounds the rate limiter's per-client state; when
+// exceeded, the least-recently-seen client is forgotten (it restarts
+// with a full bucket, which errs toward admitting).
+const maxTrackedClients = 4096
+
+// RateLimiter applies a token bucket per client: each client earns
+// rate tokens per second up to burst, and a request (or batch cell)
+// spends one. It layers in front of the admission queue — the queue
+// protects the process from aggregate overload, the limiter keeps one
+// client from monopolizing it.
+type RateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	clients map[string]*list.Element
+	ll      *list.List // front = most recently seen; values are *rlClient
+
+	limited      *obs.Counter
+	clientsGauge *obs.Gauge
+
+	// now is swapped by tests for deterministic refill.
+	now func() time.Time
+}
+
+// rlClient is one client's bucket.
+type rlClient struct {
+	id     string
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter of rate requests per second per
+// client with the given burst (0 means twice the rate, at least 1).
+// A rate <= 0 returns nil, the unlimited state — call sites treat a
+// nil *RateLimiter as always allowing.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &RateLimiter{
+		rate:         rate,
+		burst:        b,
+		clients:      make(map[string]*list.Element),
+		ll:           list.New(),
+		limited:      obs.GetCounter("serve.rate_limited"),
+		clientsGauge: obs.GetGauge("serve.rate_clients"),
+		now:          time.Now,
+	}
+}
+
+// Allow spends n tokens from client's bucket. When the bucket holds
+// fewer, nothing is spent and the returned Retry-After duration says
+// when n tokens will have accrued. A nil limiter always allows.
+func (l *RateLimiter) Allow(client string, n int) (bool, time.Duration) {
+	if l == nil || n <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.client(client, now)
+	c.tokens += now.Sub(c.last).Seconds() * l.rate
+	if c.tokens > l.burst {
+		c.tokens = l.burst
+	}
+	c.last = now
+	if c.tokens >= float64(n) {
+		c.tokens -= float64(n)
+		return true, 0
+	}
+	l.limited.Inc()
+	deficit := float64(n) - c.tokens
+	return false, time.Duration(deficit / l.rate * float64(time.Second))
+}
+
+// client returns the bucket of id, creating it full and evicting the
+// least-recently-seen client beyond the tracking bound.
+func (l *RateLimiter) client(id string, now time.Time) *rlClient {
+	if el, ok := l.clients[id]; ok {
+		l.ll.MoveToFront(el)
+		return el.Value.(*rlClient)
+	}
+	c := &rlClient{id: id, tokens: l.burst, last: now}
+	l.clients[id] = l.ll.PushFront(c)
+	for len(l.clients) > maxTrackedClients {
+		oldest := l.ll.Back()
+		delete(l.clients, oldest.Value.(*rlClient).id)
+		l.ll.Remove(oldest)
+	}
+	l.clientsGauge.Set(float64(len(l.clients)))
+	return c
+}

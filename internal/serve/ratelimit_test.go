@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterBucket pins the token-bucket math with a fake clock:
+// burst admits, exhaustion denies with an accurate Retry-After, and
+// elapsed time refills at the configured rate.
+func TestRateLimiterBucket(t *testing.T) {
+	l := NewRateLimiter(1, 2) // 1 token/s, burst 2
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("c", 1); !ok {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	ok, retry := l.Allow("c", 1)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if retry != time.Second {
+		t.Errorf("retry = %v, want 1s (one token at 1/s)", retry)
+	}
+
+	now = now.Add(1500 * time.Millisecond)
+	if ok, _ := l.Allow("c", 1); !ok {
+		t.Error("request after refill denied")
+	}
+	// 0.5 tokens remain: a two-token spend needs 1.5s more.
+	ok, retry = l.Allow("c", 2)
+	if ok || retry != 1500*time.Millisecond {
+		t.Errorf("Allow(2) = %v retry %v, want denied with 1.5s", ok, retry)
+	}
+
+	// Clients are isolated: a fresh client starts with a full bucket.
+	if ok, _ := l.Allow("other", 2); !ok {
+		t.Error("fresh client denied its burst")
+	}
+}
+
+func TestRateLimiterUnlimited(t *testing.T) {
+	if l := NewRateLimiter(0, 0); l != nil {
+		t.Fatal("rate 0 should return the nil (unlimited) limiter")
+	}
+	var l *RateLimiter
+	if ok, _ := l.Allow("anyone", 1000); !ok {
+		t.Error("nil limiter denied")
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	l := NewRateLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < maxTrackedClients+10; i++ {
+		l.Allow(fmt.Sprintf("c%d", i), 1)
+	}
+	if len(l.clients) != maxTrackedClients {
+		t.Errorf("tracking %d clients, want bound %d", len(l.clients), maxTrackedClients)
+	}
+	// The oldest client was evicted and restarts with a full bucket.
+	if ok, _ := l.Allow("c0", 1); !ok {
+		t.Error("evicted client did not restart with a full bucket")
+	}
+}
+
+// TestHandlerRateLimit pins the middleware: per-client 429 with
+// Retry-After, X-Client-Id separation, and the fleet-forwarded bypass.
+func TestHandlerRateLimit(t *testing.T) {
+	s := New(Options{Workers: 1, RateLimit: 0.001, RateBurst: 2})
+	h := NewHandler(s)
+
+	for i := 0; i < 2; i++ {
+		if rec := postExperiment(t, h, "/v1/experiments/table12", tinyBody); rec.Code != http.StatusOK {
+			t.Fatalf("request %d status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := postExperiment(t, h, "/v1/experiments/table12", tinyBody)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("request beyond burst status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	// A different client has its own bucket.
+	req := newRequest(t, "/v1/experiments/table12", tinyBody)
+	req.Header.Set(HeaderClientID, "other-client")
+	if rec := doRequest(h, req); rec.Code != http.StatusOK {
+		t.Errorf("distinct client status %d, want 200", rec.Code)
+	}
+
+	// Fleet-internal traffic is never limited.
+	req = newRequest(t, "/v1/experiments/table12", tinyBody)
+	req.Header.Set(HeaderFleetForwarded, "1")
+	if rec := doRequest(h, req); rec.Code != http.StatusOK {
+		t.Errorf("forwarded request status %d, want 200 (bypass)", rec.Code)
+	}
+
+	// Non-API paths are never limited.
+	if rec := doRequest(h, httptest.NewRequest(http.MethodGet, "/healthz", nil)); rec.Code != http.StatusOK {
+		t.Errorf("/healthz status %d under rate limiting", rec.Code)
+	}
+}
+
+// TestHandlerRateLimitBatchCost pins that a batch draws one token per
+// cell: a 3-cell sweep cannot pass on a 2-token budget.
+func TestHandlerRateLimitBatchCost(t *testing.T) {
+	s := New(Options{Workers: 1, RateLimit: 0.001, RateBurst: 2})
+	h := NewHandler(s)
+	rec := postExperiment(t, h, "/v1/batch", `{"experiments":["table12"],
+		"params":{"Particles":400,"Order":5,"ProcOrder":2,"Trials":1},
+		"sweep":{"Seed":[1,2,3]}}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("3-cell batch on 2-token budget: status %d, want 429 (body %s)", rec.Code, rec.Body)
+	}
+}

@@ -102,7 +102,53 @@ const (
 	// StatusCoalesced means the request joined a computation another
 	// request had already started.
 	StatusCoalesced Status = "coalesced"
+	// StatusPeer means the result was fetched, already finished, from
+	// a fleet peer's cache instead of being computed locally.
+	StatusPeer Status = "peer"
 )
+
+// MemberInfo identifies one fleet member as the serving layer sees it.
+type MemberInfo struct {
+	// ID is the member's stable name (the ring hashes it).
+	ID string `json:"id"`
+	// URL is the base URL peers reach the member at.
+	URL string `json:"url"`
+	// Self marks the member describing itself.
+	Self bool `json:"self,omitempty"`
+}
+
+// ForwardResult is a proxied experiment response from the owner node.
+type ForwardResult struct {
+	// StatusCode is the owner's HTTP status.
+	StatusCode int
+	// Cache is the owner's X-Cache header value.
+	Cache string
+	// Body is the owner's response body, relayed verbatim so a
+	// forwarded response is byte-identical to asking the owner
+	// directly.
+	Body []byte
+}
+
+// PeerSource is the serving layer's view of the fleet, implemented by
+// internal/fleet.Node (the interface lives here so fleet can import
+// serve without a cycle). All methods must be safe for concurrent
+// use. Fetch and Forward must degrade by returning (zero, false) or
+// an error — never block beyond their own timeouts — because every
+// caller falls back to local computation.
+type PeerSource interface {
+	// Self describes this node.
+	Self() MemberInfo
+	// Members lists the fleet membership, self included.
+	Members() []MemberInfo
+	// Owner routes a content address to its owner replica.
+	Owner(key resultcache.Key) (MemberInfo, bool)
+	// Fetch retrieves a finished entry from the owner and sibling
+	// replicas' caches; it never triggers a computation anywhere.
+	Fetch(ctx context.Context, key resultcache.Key) (resultcache.Entry, bool)
+	// Forward proxies one experiment request to the owner, which
+	// computes (or serves from cache) under its own admission control.
+	Forward(ctx context.Context, owner MemberInfo, experiment, preset string, body []byte) (*ForwardResult, error)
+}
 
 // Response is one answered request.
 type Response struct {
@@ -137,6 +183,13 @@ type Options struct {
 	// HTTP layer offers completed request traces to; nil means a
 	// store with default policy.
 	Traces *tracestore.Store
+	// RateLimit, when positive, applies a per-client token-bucket
+	// limit of this many requests per second to the /v1/ API (429 with
+	// Retry-After beyond it). Batch requests draw one token per cell.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity per client; 0 means
+	// twice RateLimit (at least 1). Ignored when RateLimit is 0.
+	RateBurst int
 }
 
 // call is one in-flight computation and the requests waiting on it.
@@ -158,6 +211,8 @@ type Server struct {
 	disk           *resultcache.DiskStore
 	computeTimeout time.Duration // <= 0 means no per-request deadline
 	faults         *faultinject.Injector
+	peers          PeerSource   // nil outside fleet mode; set once before serving
+	limiter        *RateLimiter // nil means unlimited
 
 	sem       chan struct{}  // worker slots
 	queued    atomic.Int64   // computations admitted or waiting
@@ -215,6 +270,7 @@ func New(opts Options) *Server {
 		disk:           opts.Disk,
 		computeTimeout: ct,
 		faults:         opts.Faults,
+		limiter:        NewRateLimiter(opts.RateLimit, opts.RateBurst),
 		traces:         traces,
 		sem:            make(chan struct{}, w),
 		inflight:       make(map[resultcache.Key]*call),
@@ -248,6 +304,47 @@ func (s *Server) Cache() *resultcache.Cache { return s.cache }
 // Traces returns the trace retention store the HTTP layer serves
 // /debug/traces from.
 func (s *Server) Traces() *tracestore.Store { return s.traces }
+
+// SetPeers installs the fleet view: misses check the owner and
+// sibling replicas before computing, and the HTTP layer forwards
+// requests owned elsewhere. Call it once, after construction and
+// before serving; it is not safe to call concurrently with requests.
+func (s *Server) SetPeers(p PeerSource) { s.peers = p }
+
+// RequestKey derives the content address Do serves a request under;
+// the fleet layer routes on it.
+func RequestKey(experiment string, p experiments.Params) resultcache.Key {
+	return resultcache.KeyFor(experiment, p.CanonicalKey(), experiments.ResultSchemaVersion)
+}
+
+// CachedEntry returns the finished entry stored under key in the
+// memory cache or the disk store, promoting disk hits into memory
+// like Do's lookup does. It never computes anything — it is the read
+// path the fleet peer protocol serves /internal/v1/result from, so a
+// peer asking for a result can never trigger a recursive computation.
+func (s *Server) CachedEntry(key resultcache.Key) (resultcache.Entry, bool) {
+	e, src := s.lookupCached(key)
+	return e, src != ""
+}
+
+// lookupCached checks memory then disk for a finished entry,
+// returning where it was found ("memory", "disk") or "" on a miss.
+func (s *Server) lookupCached(key resultcache.Key) (resultcache.Entry, string) {
+	if entry, ok := s.cache.Get(key); ok {
+		return entry, "memory"
+	}
+	if s.disk != nil {
+		entry, ok, err := s.disk.Get(key)
+		if err != nil {
+			s.diskErrors.Inc() // corrupt entry: treated as a miss
+		} else if ok {
+			s.diskHits.Inc()
+			s.cache.Put(entry)
+			return entry, "disk"
+		}
+	}
+	return resultcache.Entry{}, ""
+}
 
 // SetDraining marks the server as draining: /readyz answers 503 so
 // load balancers stop routing here before the listener closes.
@@ -335,26 +432,32 @@ func (s *Server) do(ctx context.Context, tr *obs.Trace, experiment string, p exp
 	if err := p.Validate(); err != nil {
 		return Response{}, fmt.Errorf("%w: %v", ErrInvalidParams, err)
 	}
-	key := resultcache.KeyFor(experiment, p.CanonicalKey(), experiments.ResultSchemaVersion)
+	key := RequestKey(experiment, p)
 
 	lookup := tr.StartSpan("cache.lookup")
-	if entry, ok := s.cache.Get(key); ok {
+	if entry, src := s.lookupCached(key); src != "" {
+		if src != "memory" {
+			lookup.Annotate("source", src)
+		}
 		lookup.End()
 		return Response{Status: StatusHit, Entry: entry}, nil
 	}
-	if s.disk != nil {
-		entry, ok, err := s.disk.Get(key)
-		if err != nil {
-			s.diskErrors.Inc() // corrupt entry: recompute below
-		} else if ok {
-			s.diskHits.Inc()
+	lookup.End()
+
+	// Peer fill: before computing, ask the owner and sibling replicas
+	// whether one of them already finished this result. Any peer
+	// error, timeout, or miss falls through to the compute path below,
+	// so a partitioned (or one-node) fleet degrades to exactly the
+	// single-process behavior.
+	if s.peers != nil {
+		pspan := tr.StartSpan("peer.fetch")
+		entry, ok := s.peers.Fetch(ctx, key)
+		pspan.End()
+		if ok {
 			s.cache.Put(entry)
-			lookup.Annotate("source", "disk")
-			lookup.End()
-			return Response{Status: StatusHit, Entry: entry}, nil
+			return Response{Status: StatusPeer, Entry: entry}, nil
 		}
 	}
-	lookup.End()
 
 	s.mu.Lock()
 	if c, ok := s.inflight[key]; ok {
