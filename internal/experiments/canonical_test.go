@@ -5,6 +5,11 @@ import (
 	"testing"
 )
 
+func withDist(p Params, d string) Params {
+	p.Distribution = d
+	return p
+}
+
 // TestCanonicalKeyPinned pins the exact canonical encoding. These
 // strings feed the content-addressed result cache: changing them
 // invalidates every stored entry, so any edit here must be deliberate
@@ -19,6 +24,9 @@ func TestCanonicalKeyPinned(t *testing.T) {
 		{"table12_paper", Table12Paper, "params/v1:n=250000,k=10,po=8,r=1,t=3,s=2013"},
 		{"fig6_paper", Fig6Paper, "params/v1:n=1000000,k=12,po=8,r=4,t=1,s=2013"},
 		{"zero", Params{}, "params/v1:n=0,k=0,po=0,r=0,t=0,s=0"},
+		{"uniform_explicit", withDist(Table12Paper, "uniform"), "params/v1:n=250000,k=10,po=8,r=1,t=3,s=2013"},
+		{"normal", withDist(Table12Paper, "normal"), "params/v1:n=250000,k=10,po=8,r=1,t=3,s=2013,d=normal"},
+		{"exp_alias", withDist(Table12Paper, "exp"), "params/v1:n=250000,k=10,po=8,r=1,t=3,s=2013,d=exponential"},
 	}
 	for _, tc := range cases {
 		if got := tc.p.CanonicalKey(); got != tc.want {
@@ -52,16 +60,30 @@ func TestCanonicalKeyIgnoresEngine(t *testing.T) {
 	}
 }
 
+// TestCanonicalKeyIgnoresIncrMode asserts the same invariant for the
+// incremental-maintenance mechanism: delta and rebuild maintenance are
+// bit-identical (the cross-mechanism differential oracle), so runs
+// differing only in IncrMode must share a cache entry.
+func TestCanonicalKeyIgnoresIncrMode(t *testing.T) {
+	a := Table12Paper
+	b := Table12Paper
+	b.IncrMode = "rebuild"
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("IncrMode changed the canonical key: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	}
+}
+
 // TestCanonicalKeyCoversParams fails when a field is added to Params
 // without a decision about the canonical encoding. A new field must
 // either join CanonicalKey (and the pinned strings above must change,
 // invalidating old cache entries) or be excluded deliberately like
 // Workers — then bump the expected count here with a comment.
 func TestCanonicalKeyCoversParams(t *testing.T) {
-	// 8 = Particles, Order, ProcOrder, Radius, Trials, Seed in the key,
-	// plus Workers and NFIEngine (excluded: results are invariant to
-	// worker count and neighbor engine).
-	const known = 8
+	// 10 = Particles, Order, ProcOrder, Radius, Trials, Seed,
+	// Distribution (non-uniform only) in the key, plus Workers,
+	// NFIEngine, and IncrMode (excluded: results are invariant to
+	// worker count, neighbor engine, and maintenance mechanism).
+	const known = 10
 	if got := reflect.TypeOf(Params{}).NumField(); got != known {
 		t.Fatalf("Params has %d fields, CanonicalKey audited %d; "+
 			"decide whether the new field is result-affecting and update CanonicalKey", got, known)
@@ -79,6 +101,8 @@ func TestCanonicalKeySeparatesParams(t *testing.T) {
 		func(p *Params) { p.Radius++ },
 		func(p *Params) { p.Trials++ },
 		func(p *Params) { p.Seed++ },
+		func(p *Params) { p.Distribution = "normal" },
+		func(p *Params) { p.Distribution = "exponential" },
 	}
 	seen := map[string]bool{base.CanonicalKey(): true}
 	for i, mutate := range variants {

@@ -96,6 +96,23 @@ func (r ClusterResult) WriteCSV(w io.Writer) error {
 	return tablefmt.WriteCSV(w, header, rows)
 }
 
+// WriteCSV emits (tick, curve, acd, gauge, touched, moved,
+// repartitions) rows for the incremental pipeline study.
+func (r DynamicIncrResult) WriteCSV(w io.Writer) error {
+	header := []string{"tick", "curve", "acd", "gauge", "touched", "moved", "repartitions"}
+	var rows [][]string
+	for c, curve := range r.Curves {
+		for t, tick := range r.Ticks {
+			rows = append(rows, []string{
+				strconv.Itoa(tick), curve, f(r.ACD[c][t]), f(r.Gauge[c][t]),
+				strconv.Itoa(r.Touched[c][t]), strconv.Itoa(r.Moved[t]),
+				strconv.Itoa(r.Repartitions[c]),
+			})
+		}
+	}
+	return tablefmt.WriteCSV(w, header, rows)
+}
+
 // WriteCSV emits (step, curve, policy, acd) rows.
 func (r DynamicResult) WriteCSV(w io.Writer) error {
 	header := []string{"step", "curve", "policy", "acd"}

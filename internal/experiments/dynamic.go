@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"sfcacd/internal/acd"
-	"sfcacd/internal/dist"
 	"sfcacd/internal/fmmmodel"
 	"sfcacd/internal/geom"
 	"sfcacd/internal/partition"
@@ -94,7 +93,7 @@ func RunDynamic(ctx context.Context, p Params, steps int) (DynamicResult, error)
 	for s := 0; s <= steps; s++ {
 		res.Steps = append(res.Steps, s)
 	}
-	pts, err := samplePoints(dist.Uniform, p, 0)
+	pts, err := samplePoints(p.sampler(), p, 0)
 	if err != nil {
 		return DynamicResult{}, err
 	}

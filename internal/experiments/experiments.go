@@ -47,7 +47,24 @@ type Params struct {
 	// engines; like Workers, the knob only moves cost, so it is
 	// excluded from CanonicalKey.
 	NFIEngine string
+	// Distribution selects the particle sampling distribution by name
+	// (dist.ByName); empty means uniform. Unlike the cost-only knobs it
+	// changes results, so non-uniform values join CanonicalKey (the
+	// uniform default is omitted there, keeping every previously cached
+	// key stable).
+	Distribution string
+	// IncrMode pins the maintenance mechanism of the incremental
+	// time-stepped experiments: "" or "incr" (delta maintenance with
+	// policy-driven rebuild fallback) or "rebuild" (full rebuild every
+	// tick). The two mechanisms are bit-identical by construction (the
+	// cross-mechanism differential oracle CI enforces), so like
+	// NFIEngine the knob only moves cost and is excluded from
+	// CanonicalKey.
+	IncrMode string
 }
+
+// incrModes lists the accepted IncrMode values.
+var incrModes = map[string]bool{"": true, "incr": true, "rebuild": true}
 
 // engine resolves the NFIEngine name, panicking on values Validate
 // would have rejected.
@@ -57,6 +74,20 @@ func (p Params) engine() keynav.Engine {
 		panic(err)
 	}
 	return e
+}
+
+// sampler resolves the Distribution name, panicking on values Validate
+// would have rejected. Aliases normalize to the canonical singletons,
+// so "exp" and "exponential" sample (and cache) identically.
+func (p Params) sampler() dist.Sampler {
+	if p.Distribution == "" {
+		return dist.Uniform
+	}
+	s, err := dist.ByName(p.Distribution)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // P returns the processor count 4^ProcOrder.
@@ -84,6 +115,14 @@ func (p Params) Validate() error {
 	}
 	if _, err := keynav.ParseEngine(p.NFIEngine); err != nil {
 		return fmt.Errorf("experiments: %w", err)
+	}
+	if p.Distribution != "" {
+		if _, err := dist.ByName(p.Distribution); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	if !incrModes[p.IncrMode] {
+		return fmt.Errorf("experiments: unknown incr mode %q", p.IncrMode)
 	}
 	return nil
 }

@@ -201,6 +201,19 @@ var registry = []Spec{
 		Decode: decodeResult[DynamicResult],
 	},
 	{
+		Name:  "dynamicincr",
+		Desc:  "Incremental pipeline: maintained order, assignment, and comm matrix over n-body ticks",
+		Paper: Table12Paper,
+		Run: func(ctx context.Context, p Params) (*Output, error) {
+			res, err := RunDynamicIncr(ctx, p, 12)
+			if err != nil {
+				return nil, err
+			}
+			return &Output{Params: p, Result: res}, nil
+		},
+		Decode: decodeResult[DynamicIncrResult],
+	},
+	{
 		Name:  "threed",
 		Desc:  "3D validation: ACD and ANNS on a 3D torus (future-work item ii)",
 		Paper: Table12Paper,
@@ -476,6 +489,26 @@ func (r DynamicResult) Render(w io.Writer) error {
 // CSVPanels returns the dynamic panel.
 func (r DynamicResult) CSVPanels() []CSVPanel {
 	return []CSVPanel{{Name: "dynamic", Write: r.WriteCSV}}
+}
+
+// Render writes the maintained-ACD and drift-gauge panels plus the
+// per-curve repartition summary.
+func (r DynamicIncrResult) Render(w io.Writer) error {
+	acdT, gauge := r.SeriesTables()
+	if err := renderPanels(w, acdT, gauge); err != nil {
+		return err
+	}
+	for c, curve := range r.Curves {
+		if _, err := fmt.Fprintf(w, "repartitions[%s] = %d\n", curve, r.Repartitions[c]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVPanels returns the dynamicincr panel.
+func (r DynamicIncrResult) CSVPanels() []CSVPanel {
+	return []CSVPanel{{Name: "dynamicincr", Write: r.WriteCSV}}
 }
 
 // Render writes the 3D validation table.

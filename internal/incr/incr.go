@@ -1,0 +1,409 @@
+// Package incr maintains the §IV pipeline's derived state — curve
+// order, balanced-chunk assignment, and the near-field communication
+// matrix — across the timesteps of a drifting particle set, instead of
+// rebuilding all three from scratch each tick.
+//
+// Between ticks only a small minority of particles move, so each
+// derived structure admits a delta update:
+//
+//   - The sorted permutation is repaired by sfc.ResortPermByKeys,
+//     which extracts the still-sorted backbone and merges the
+//     displaced minority back, instead of re-running the full radix
+//     sort.
+//   - Ownership is repaired by acd.DeltaOwners, which recomputes
+//     owners only where the recorded rank disagrees with the
+//     balanced-chunk partition over the repaired order. The fraction
+//     of disagreements is the tick's drift gauge.
+//   - The near-field matrix is repaired in a commmat.Mutable by
+//     retracting the rank-pair events incident to affected particles
+//     in the pre-tick state and re-adding them in the post-tick state.
+//
+// When the drift gauge crosses the repartition policy's high-water
+// mark the delta mechanism stops paying for itself and the state falls
+// back to a full rebuild (keynav index refill plus matrix reset), with
+// hysteresis so an oscillating gauge does not flap between mechanisms.
+// Either way the maintained matrix is defined to be bit-identical to a
+// from-scratch fmmmodel.NFIMatrix of the current configuration — the
+// differential oracle the tests and CI enforce every tick.
+package incr
+
+import (
+	"fmt"
+
+	"sfcacd/internal/acd"
+	"sfcacd/internal/commmat"
+	"sfcacd/internal/geom"
+	"sfcacd/internal/keynav"
+	"sfcacd/internal/obs"
+	"sfcacd/internal/partition"
+	"sfcacd/internal/sfc"
+	"sfcacd/internal/topology"
+)
+
+var (
+	tickCounter        = obs.GetCounter("incr.ticks")
+	repartitionCounter = obs.GetCounter("incr.repartitions")
+	movedCounter       = obs.GetCounter("incr.moved")
+	ownerMoveCounter   = obs.GetCounter("incr.owner_moves")
+	retractCounter     = obs.GetCounter("incr.retracted")
+	readdCounter       = obs.GetCounter("incr.readded")
+)
+
+// denseOccLimit mirrors acd's dense-table threshold: up to 4^12 cells
+// the cell->particle occupancy is a flat array, beyond that a map.
+const denseOccLimit = uint64(1) << 24
+
+// Config fixes one maintained pipeline's parameters for its lifetime.
+type Config struct {
+	Curve  sfc.Curve
+	Order  uint
+	P      int
+	Radius int
+	Metric geom.Metric
+	// Policy governs the fallback to full rebuilds. The zero value is
+	// replaced by acd.DefaultRepartitionPolicy.
+	Policy acd.RepartitionPolicy
+	// ForceRebuild pins the maintenance mechanism to full rebuilds
+	// regardless of the policy's decision. The policy still runs (and
+	// TickStats still reports its decisions), so a forced-rebuild state
+	// reports tick-for-tick identical stats to a delta state fed the
+	// same drift — which is what lets an experiment output serve as a
+	// cross-mechanism differential oracle.
+	ForceRebuild bool
+}
+
+// TickStats reports what one tick did. Every field is a deterministic
+// function of the particle trajectory alone — none depends on which
+// mechanism (delta or rebuild) maintained the state.
+type TickStats struct {
+	// Moved counts particles whose cell changed this tick.
+	Moved int
+	// Displaced is the number of permutation entries the adaptive
+	// re-sort had to extract and merge (n on its full-sort fallback).
+	Displaced int
+	// OwnerMoves counts particles whose owning rank changed.
+	OwnerMoves int
+	// Gauge is OwnerMoves / n, the drift fed to the policy.
+	Gauge float64
+	// Repartitioned is the policy's decision for this tick.
+	Repartitioned bool
+	// Retracted and Readded count the rank-pair events incident to
+	// affected particles before and after the move was applied.
+	Retracted int
+	Readded   int
+}
+
+// State is one maintained pipeline: the derived state of a particle
+// set under one curve, carried across ticks. Not safe for concurrent
+// use.
+type State struct {
+	cfg  Config
+	side uint32
+	n    int
+
+	// Identity-indexed views of the current configuration. A particle's
+	// identity is its index in the initial (and every Tick's) slice.
+	pts    []geom.Point
+	keys   []uint64
+	owners []int32
+	// perm holds identities in curve order.
+	perm []int
+
+	// cell -> occupant identity (-1 / absent when empty).
+	denseOcc  []int32
+	sparseOcc map[uint64]int32
+
+	counts *commmat.Mutable
+	ix     *keynav.Index
+
+	// epoch/mark implement the affected set without clearing: identity
+	// id is affected this tick iff mark[id] == epoch. The retract and
+	// re-add enumerations visit each affected-affected pair once, from
+	// the lower identity.
+	epoch uint64
+	mark  []uint64
+
+	deltaBuf     []acd.OwnerDelta
+	movedBuf     []int
+	affectedBuf  []int
+	sortedBuf    []geom.Point
+	repartitions int
+}
+
+// NewState builds the initial pipeline state from scratch: full curve
+// sort, balanced-chunk ownership, occupancy, key-space index, and
+// near-field matrix. Duplicate particle cells are rejected, as in
+// acd.Assign.
+func NewState(cfg Config, pts []geom.Point) (*State, error) {
+	if cfg.Curve == nil {
+		return nil, fmt.Errorf("incr: nil curve")
+	}
+	if cfg.P < 1 {
+		return nil, fmt.Errorf("incr: p = %d must be positive", cfg.P)
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("incr: no particles")
+	}
+	if cfg.Policy == (acd.RepartitionPolicy{}) {
+		cfg.Policy = acd.DefaultRepartitionPolicy()
+	}
+	n := len(pts)
+	s := &State{
+		cfg:  cfg,
+		side: geom.Side(cfg.Order),
+		n:    n,
+		pts:  append([]geom.Point(nil), pts...),
+		mark: make([]uint64, n),
+	}
+	s.perm, s.keys = sfc.SortPointsKeys(cfg.Curve, cfg.Order, s.pts)
+	for i := 1; i < n; i++ {
+		if s.keys[s.perm[i]] == s.keys[s.perm[i-1]] {
+			return nil, fmt.Errorf("incr: duplicate particle cell %v", s.pts[s.perm[i]])
+		}
+	}
+	s.owners = make([]int32, n)
+	for r := 0; r < cfg.P; r++ {
+		lo, hi := partition.Start(r, n, cfg.P), partition.End(r, n, cfg.P)
+		for i := lo; i < hi; i++ {
+			s.owners[s.perm[i]] = int32(r)
+		}
+	}
+	if geom.Cells(cfg.Order) <= denseOccLimit {
+		s.denseOcc = make([]int32, geom.Cells(cfg.Order))
+		for i := range s.denseOcc {
+			s.denseOcc[i] = -1
+		}
+	} else {
+		s.sparseOcc = make(map[uint64]int32, n)
+	}
+	for id, pt := range s.pts {
+		s.occSet(pt, int32(id))
+	}
+	s.counts = commmat.NewMutable(cfg.P)
+	s.ix = keynav.Build(cfg.Order, s.pts, s.owners)
+	s.refill()
+	return s, nil
+}
+
+func (s *State) occAt(q geom.Point) int32 {
+	if s.denseOcc != nil {
+		return s.denseOcc[geom.CellID(q, s.side)]
+	}
+	if id, ok := s.sparseOcc[geom.CellID(q, s.side)]; ok {
+		return id
+	}
+	return -1
+}
+
+func (s *State) occSet(q geom.Point, id int32) {
+	if s.denseOcc != nil {
+		s.denseOcc[geom.CellID(q, s.side)] = id
+	} else {
+		s.sparseOcc[geom.CellID(q, s.side)] = id
+	}
+}
+
+func (s *State) occClear(q geom.Point) {
+	if s.denseOcc != nil {
+		s.denseOcc[geom.CellID(q, s.side)] = -1
+	} else {
+		delete(s.sparseOcc, geom.CellID(q, s.side))
+	}
+}
+
+// refill rebuilds the near-field matrix from the key-space index (one
+// upper-pair traversal, as fmmmodel's keys engine does).
+func (s *State) refill() {
+	s.counts.Reset()
+	s.ix.VisitUpperNeighborPairs(0, s.n, s.cfg.Radius, s.cfg.Metric, func(mine, r int32) {
+		if r < mine {
+			s.counts.Add(r, mine)
+		} else {
+			s.counts.Add(mine, r)
+		}
+	})
+}
+
+// forAffectedPairs enumerates, in the state's current configuration,
+// every near-field pair with at least one affected member and calls fn
+// with the members' current owners. Pairs between two affected
+// particles are visited once, from the lower identity: the enumeration
+// from the higher one skips them, so retract and re-add touch each
+// pair's event exactly once regardless of processing order.
+func (s *State) forAffectedPairs(affected []int, fn func(ra, rb int32)) int {
+	count := 0
+	for _, a := range affected {
+		ra := s.owners[a]
+		geom.VisitNeighborhood(s.pts[a], s.cfg.Radius, s.cfg.Metric, s.side, func(q geom.Point) {
+			b := s.occAt(q)
+			if b < 0 || (s.mark[b] == s.epoch && int(b) < a) {
+				return
+			}
+			fn(ra, s.owners[b])
+			count++
+		})
+	}
+	return count
+}
+
+// apply moves the state to the new configuration: occupancy and
+// positions for moved particles (old cells cleared before new ones are
+// set, so moves that permute cells among themselves stay consistent)
+// and recorded owners for the delta'd ones.
+func (s *State) apply(newPts []geom.Point, moved []int, deltas []acd.OwnerDelta) {
+	for _, id := range moved {
+		s.occClear(s.pts[id])
+	}
+	for _, id := range moved {
+		s.pts[id] = newPts[id]
+		s.occSet(newPts[id], int32(id))
+	}
+	for _, d := range deltas {
+		s.owners[d.ID] = d.New
+	}
+}
+
+// Tick advances the state to the new particle configuration (same
+// identities, same length; cells must stay distinct). It returns the
+// tick's stats, which are identical whichever mechanism maintained the
+// matrix. A duplicate-cell error leaves the state unusable.
+func (s *State) Tick(newPts []geom.Point) (TickStats, error) {
+	var st TickStats
+	if len(newPts) != s.n {
+		return st, fmt.Errorf("incr: tick with %d particles, state has %d", len(newPts), s.n)
+	}
+	tickCounter.Inc()
+
+	moved := s.movedBuf[:0]
+	for id := range newPts {
+		if newPts[id] != s.pts[id] {
+			moved = append(moved, id)
+		}
+	}
+	s.movedBuf = moved
+	st.Moved = len(moved)
+	movedCounter.Add(uint64(len(moved)))
+
+	for _, id := range moved {
+		s.keys[id] = s.cfg.Curve.Index(s.cfg.Order, newPts[id])
+	}
+	resort := obs.StartSpan("incr.resort")
+	st.Displaced = sfc.ResortPermByKeys(s.perm, s.keys)
+	resort.End()
+	for i := 1; i < s.n; i++ {
+		if s.keys[s.perm[i]] == s.keys[s.perm[i-1]] {
+			return st, fmt.Errorf("incr: duplicate particle cell %v", newPts[s.perm[i]])
+		}
+	}
+
+	deltas := acd.DeltaOwners(s.perm, s.owners, s.cfg.P, s.deltaBuf[:0])
+	s.deltaBuf = deltas
+	st.OwnerMoves = len(deltas)
+	ownerMoveCounter.Add(uint64(len(deltas)))
+	st.Gauge = float64(len(deltas)) / float64(s.n)
+	st.Repartitioned = s.cfg.Policy.Decide(st.Gauge)
+	if st.Repartitioned {
+		s.repartitions++
+		repartitionCounter.Inc()
+	}
+
+	s.epoch++
+	affected := s.affectedBuf[:0]
+	for _, id := range moved {
+		if s.mark[id] != s.epoch {
+			s.mark[id] = s.epoch
+			affected = append(affected, id)
+		}
+	}
+	for _, d := range deltas {
+		if s.mark[d.ID] != s.epoch {
+			s.mark[d.ID] = s.epoch
+			affected = append(affected, d.ID)
+		}
+	}
+	s.affectedBuf = affected
+
+	if rebuild := s.cfg.ForceRebuild || st.Repartitioned; !rebuild {
+		span := obs.StartSpan("incr.maintain.delta")
+		st.Retracted = s.forAffectedPairs(affected, func(ra, rb int32) {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			s.counts.Sub(ra, rb)
+		})
+		s.apply(newPts, moved, deltas)
+		st.Readded = s.forAffectedPairs(affected, func(ra, rb int32) {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			s.counts.Add(ra, rb)
+		})
+		span.End()
+	} else {
+		// The retract/re-add counts are part of the tick's reported
+		// stats, so a rebuild tick still runs the enumerations — in
+		// counting-only form, under a span excluded from the maintenance
+		// timings the mechanisms are compared on.
+		stats := obs.StartSpan("incr.stats")
+		st.Retracted = s.forAffectedPairs(affected, func(ra, rb int32) {})
+		stats.End()
+		s.apply(newPts, moved, deltas)
+		stats = obs.StartSpan("incr.stats")
+		st.Readded = s.forAffectedPairs(affected, func(ra, rb int32) {})
+		stats.End()
+		span := obs.StartSpan("incr.maintain.rebuild")
+		s.ix.Rebuild(s.cfg.Order, s.pts, s.owners)
+		s.refill()
+		span.End()
+	}
+	retractCounter.Add(uint64(st.Retracted))
+	readdCounter.Add(uint64(st.Readded))
+	return st, nil
+}
+
+// N returns the particle count.
+func (s *State) N() int { return s.n }
+
+// P returns the processor count.
+func (s *State) P() int { return s.cfg.P }
+
+// Repartitions returns how many ticks the policy decided to rebuild
+// on, since construction.
+func (s *State) Repartitions() int { return s.repartitions }
+
+// Matrix materializes the maintained near-field matrix — bit-identical
+// to fmmmodel.NFIMatrix over a fresh assignment of the current
+// configuration, which is the differential oracle CI compares against.
+func (s *State) Matrix() *commmat.Matrix { return s.counts.Matrix() }
+
+// ACD contracts the maintained matrix against a distance table without
+// materializing it.
+func (s *State) ACD(dt *topology.DistanceTable) acd.Accumulator {
+	var acc acd.Accumulator
+	s.counts.ContractTableSym(dt, &acc)
+	return acc
+}
+
+// Assignment materializes the maintained order and ownership as a
+// batch acd.Assignment (for the model paths the incremental layer does
+// not maintain, like the far-field).
+func (s *State) Assignment() (*acd.Assignment, error) {
+	if cap(s.sortedBuf) < s.n {
+		s.sortedBuf = make([]geom.Point, s.n)
+	}
+	s.sortedBuf = s.sortedBuf[:s.n]
+	for i, id := range s.perm {
+		s.sortedBuf[i] = s.pts[id]
+	}
+	return acd.FromSorted(s.sortedBuf, s.cfg.Order, s.cfg.P)
+}
+
+// Release returns the state's pooled resources (the key-space index).
+// The state must not be used afterwards.
+func (s *State) Release() {
+	if s.ix != nil {
+		s.ix.Release()
+		s.ix = nil
+	}
+	s.counts = nil
+}

@@ -183,13 +183,23 @@ var indexPool = sync.Pool{New: func() any { return new(Index) }}
 // ranks (parallel slices, as held by acd.Assignment). The inputs are
 // not modified and not retained.
 func Build(order uint, pts []geom.Point, ranks []int32) *Index {
+	ix := indexPool.Get().(*Index)
+	ix.Rebuild(order, pts, ranks)
+	return ix
+}
+
+// Rebuild refills the index in place from new particle data, reusing
+// every slab the previous build left behind. The incremental pipeline
+// holds one Index per maintained curve across timesteps and rebuilds
+// it on repartition ticks; in-place reuse keeps those rebuilds out of
+// both the allocator and the shared build pool.
+func (ix *Index) Rebuild(order uint, pts []geom.Point, ranks []int32) {
 	if len(pts) != len(ranks) {
 		panic("keynav: pts and ranks length mismatch")
 	}
 	defer obs.StartSpan("keybuild").End()
 	buildCounter.Inc()
 	n := len(pts)
-	ix := indexPool.Get().(*Index)
 	ix.Order = order
 	ix.keys = grow(ix.keys, n)
 	ix.ranks = grow(ix.ranks, n)
@@ -208,7 +218,6 @@ func Build(order uint, pts []geom.Point, ranks []int32) *Index {
 		sortPairs(ix.keys, ix.ranks, 2*order)
 	}
 	ix.buildLevels()
-	return ix
 }
 
 // buildLevels derives every coarser level from the finest by one

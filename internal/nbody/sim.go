@@ -2,6 +2,7 @@ package nbody
 
 import (
 	"fmt"
+	"math"
 	"math/cmplx"
 )
 
@@ -104,23 +105,30 @@ func (s *Simulator) reflect(i int) {
 }
 
 // reflect1 folds a coordinate back into [0, 1) and flips the velocity
-// when a wall was crossed.
+// when an odd number of walls was crossed. The fold is the closed-form
+// period-2 triangle wave rather than a bounce-at-a-time loop: one
+// math.Mod absorbs any overshoot, where the loop's iteration count
+// grew linearly with |x| — a runaway particle overshooting by ~1e9
+// stalled the integrator for ~5e8 iterations inside one Step.
 func reflect1(x, v float64) (float64, float64) {
-	for {
-		switch {
-		case x < 0:
-			x, v = -x, -v
-		case x >= 1:
-			x, v = 2-x, -v
-			if x >= 1 {
-				// x was exactly on the wall: nudge inside the open
-				// interval so cell quantization stays in range.
-				x = 1 - 1e-12
-			}
-		default:
-			return x, v
-		}
+	if x >= 0 && x < 1 {
+		return x, v
 	}
+	m := math.Mod(x, 2)
+	if m < 0 {
+		m += 2
+	}
+	if m < 1 {
+		// Even number of reflections: ascending segment of the wave.
+		return m, v
+	}
+	x = 2 - m
+	if x >= 1 {
+		// m was exactly 1 (on the wall): nudge inside the open
+		// interval so cell quantization stays in range.
+		x = 1 - 1e-12
+	}
+	return x, -v
 }
 
 // KineticEnergy returns 1/2 sum |v|^2 (unit masses).

@@ -176,6 +176,64 @@ func TestReflect1(t *testing.T) {
 	}
 }
 
+// TestReflect1Runaway is the regression for the bounce-at-a-time fold:
+// a runaway particle overshooting the box by ~1e9 must fold back in
+// O(1), where the old loop bounced once per unit of overshoot (~5e8
+// iterations before returning). With the closed form these calls are
+// instant; the results must still land strictly inside [0, 1) and
+// agree with a modest-overshoot fold of the same phase.
+func TestReflect1Runaway(t *testing.T) {
+	for _, c := range []struct{ x, v float64 }{
+		{1e9 + 0.25, 1e9},
+		{-1e9 - 0.25, -1e9},
+		{4.25, 1}, // same phase as 1e9+0.25 (even integer apart)
+	} {
+		x, v := reflect1(c.x, c.v)
+		if x < 0 || x >= 1 {
+			t.Fatalf("reflect1(%g): x = %v outside [0,1)", c.x, x)
+		}
+		if math.Abs(v) != math.Abs(c.v) {
+			t.Fatalf("reflect1(%g): |v| changed from %g to %g", c.x, c.v, v)
+		}
+	}
+	// Phase agreement: folds that differ by a full period (2 units of
+	// overshoot) are identical, arbitrarily far out.
+	xNear, vNear := reflect1(4.25, 1)
+	xFar, vFar := reflect1(4.25+2e9, 1)
+	if math.Abs(xNear-xFar) > 1e-9 || vNear != vFar {
+		t.Fatalf("period-2 phase broken: near (%v,%v), far (%v,%v)", xNear, vNear, xFar, vFar)
+	}
+}
+
+// TestReflect1MatchesBounceLoop checks the closed form against the
+// reference one-bounce-at-a-time fold on moderate overshoots (where
+// the reference terminates promptly).
+func TestReflect1MatchesBounceLoop(t *testing.T) {
+	ref := func(x, v float64) (float64, float64) {
+		for {
+			switch {
+			case x < 0:
+				x, v = -x, -v
+			case x >= 1:
+				x, v = 2-x, -v
+				if x >= 1 {
+					x = 1 - 1e-12
+				}
+			default:
+				return x, v
+			}
+		}
+	}
+	for i := -800; i <= 800; i++ {
+		x := float64(i) * 0.0125001 // avoids exact wall multiples
+		wantX, wantV := ref(x, 1)
+		gotX, gotV := reflect1(x, 1)
+		if math.Abs(gotX-wantX) > 1e-9 || gotV != wantV {
+			t.Fatalf("reflect1(%v) = (%v, %v), reference fold gives (%v, %v)", x, gotX, gotV, wantX, wantV)
+		}
+	}
+}
+
 func newRandomSim(t *testing.T, n int, dt float64) *Simulator {
 	t.Helper()
 	sys := randomSystem(31, n)

@@ -48,9 +48,9 @@ type BatchRequest struct {
 // CellEvent is one streamed batch completion (SSE "cell" events /
 // NDJSON lines with type "cell").
 type CellEvent struct {
-	Type       string          `json:"type"`
-	Cell       int             `json:"cell"`
-	Experiment string          `json:"experiment"`
+	Type       string `json:"type"`
+	Cell       int    `json:"cell"`
+	Experiment string `json:"experiment"`
 	// Node is the fleet member that served the cell ("" outside fleet
 	// mode).
 	Node string `json:"node,omitempty"`

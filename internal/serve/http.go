@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -147,9 +148,13 @@ func clientID(r *http.Request) string {
 }
 
 // writeRateLimited answers 429 with a Retry-After the client can back
-// off on.
+// off on: the token deficit rounded up to whole seconds (never +1 past
+// an exact-second deficit), floored at 1 so the header is never 0.
 func writeRateLimited(w http.ResponseWriter, retry time.Duration) {
-	secs := int(retry.Seconds()) + 1
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeError(w, http.StatusTooManyRequests, errorBody{
 		Error:      "serve: rate limit exceeded",
@@ -322,7 +327,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	resp, err := s.Do(r.Context(), name, params)
 	if err != nil {
-		writeDoError(w, r, err)
+		s.writeDoError(w, r, err)
 		return
 	}
 	w.Header().Set("X-Cache", string(resp.Status))
@@ -412,8 +417,10 @@ func (s *Server) forwardToOwner(w http.ResponseWriter, r *http.Request, name, pr
 
 // writeDoError maps Server.Do errors onto HTTP statuses. Every error
 // body goes through writeError — one encoding path, every response
-// with Content-Length.
-func writeDoError(w http.ResponseWriter, r *http.Request, err error) {
+// with Content-Length. The overload 503 carries a Retry-After derived
+// from the queue depth and the observed mean compute time, so backoff
+// scales with how far behind the server actually is.
+func (s *Server) writeDoError(w http.ResponseWriter, r *http.Request, err error) {
 	var overload *OverloadError
 	var deadline *DeadlineError
 	switch {
@@ -422,7 +429,8 @@ func writeDoError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, ErrInvalidParams):
 		writeError(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	case errors.As(err, &overload):
-		w.Header().Set("Retry-After", "1")
+		hint := s.RetryAfterHint(overload.QueueDepth)
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(hint.Seconds()))))
 		writeError(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), QueueDepth: overload.QueueDepth})
 	case errors.As(err, &deadline):
 		writeError(w, http.StatusGatewayTimeout, errorBody{Error: err.Error(), Timeout: deadline.Timeout.String()})

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"sfcacd/internal/experiments"
 )
@@ -156,12 +157,18 @@ func TestHandlerOverload(t *testing.T) {
 	}
 	waitFor(t, "both computations admitted", func() bool { return s.queued.Load() == 2 })
 
+	// Seed the compute history: 2 completions totaling 4s, so the mean
+	// is 2s. The rejected request sees a backlog of 2 on 1 worker — two
+	// waves of 2s each — pinning Retry-After at exactly 4.
+	s.computeNs.Store(int64(4 * time.Second))
+	s.computeCount.Store(2)
+
 	rec := postExperiment(t, h, "/v1/experiments/table12", `{"Seed":3}`)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("overloaded status %d, want 503 (body %s)", rec.Code, rec.Body)
 	}
-	if rec.Header().Get("Retry-After") == "" {
-		t.Error("503 response missing Retry-After")
+	if got := rec.Header().Get("Retry-After"); got != "4" {
+		t.Errorf("503 Retry-After = %q, want 4 (2 backlogged waves x 2s mean compute)", got)
 	}
 	var eb errorBody
 	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
@@ -172,6 +179,68 @@ func TestHandlerOverload(t *testing.T) {
 	}
 	close(release)
 	wg.Wait()
+}
+
+// TestRetryAfterHint pins the overload-backoff estimate: backlogged
+// waves times mean compute time, clamped to [1s, 60s], with a 1s
+// default before any computation has completed.
+func TestRetryAfterHint(t *testing.T) {
+	s := New(Options{Workers: 4})
+	if got := s.RetryAfterHint(10); got != time.Second {
+		t.Errorf("no history: hint %v, want 1s default", got)
+	}
+	// Mean compute 3s. depth 10 on 4 workers = 3 waves -> 9s.
+	s.computeNs.Store(int64(6 * time.Second))
+	s.computeCount.Store(2)
+	cases := []struct {
+		depth int
+		want  time.Duration
+	}{
+		{0, time.Second},         // empty backlog: probe floor
+		{1, 3 * time.Second},     // one wave
+		{4, 3 * time.Second},     // still one wave
+		{5, 6 * time.Second},     // spills into a second wave
+		{10, 9 * time.Second},    // ceil(10/4) = 3 waves
+		{1000, 60 * time.Second}, // clamped to the ceiling
+	}
+	for _, tc := range cases {
+		if got := s.RetryAfterHint(tc.depth); got != tc.want {
+			t.Errorf("depth %d: hint %v, want %v", tc.depth, got, tc.want)
+		}
+	}
+	// Sub-second means floor at 1s.
+	s.computeNs.Store(int64(10 * time.Millisecond))
+	s.computeCount.Store(1)
+	if got := s.RetryAfterHint(2); got != time.Second {
+		t.Errorf("tiny mean: hint %v, want 1s floor", got)
+	}
+}
+
+// TestWriteRateLimitedCeiling pins the 429 Retry-After arithmetic: the
+// deficit rounds up to whole seconds without overshooting exact-second
+// values, and never drops below 1.
+func TestWriteRateLimitedCeiling(t *testing.T) {
+	cases := []struct {
+		retry time.Duration
+		want  string
+	}{
+		{0, "1"},
+		{200 * time.Millisecond, "1"},
+		{time.Second, "1"}, // exactly 1s must not become 2
+		{1500 * time.Millisecond, "2"},
+		{2 * time.Second, "2"}, // exactly 2s must not become 3
+		{2*time.Second + time.Millisecond, "3"},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		writeRateLimited(rec, tc.retry)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("retry %v: status %d, want 429", tc.retry, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != tc.want {
+			t.Errorf("retry %v: Retry-After = %q, want %q", tc.retry, got, tc.want)
+		}
+	}
 }
 
 func TestHandlerList(t *testing.T) {

@@ -219,6 +219,11 @@ type Server struct {
 	computing sync.WaitGroup // live compute goroutines; Drain waits on it
 	draining  atomic.Bool    // set once shutdown begins; /readyz turns 503
 
+	// computeNs/computeCount accumulate successful computation wall
+	// time, feeding RetryAfterHint's mean-compute estimate.
+	computeNs    atomic.Int64
+	computeCount atomic.Int64
+
 	traces *tracestore.Store
 
 	mu       sync.Mutex
@@ -277,13 +282,13 @@ func New(opts Options) *Server {
 		runFn: func(ctx context.Context, spec experiments.Spec, p experiments.Params) (*experiments.Output, error) {
 			return spec.Run(ctx, p)
 		},
-		requests:     obs.GetCounter("serve.requests"),
-		coalesced:    obs.GetCounter("serve.coalesced"),
-		computations: obs.GetCounter("serve.computations"),
-		rejections:   obs.GetCounter("serve.rejections"),
-		diskHits:     obs.GetCounter("serve.disk_hits"),
-		diskErrors:   obs.GetCounter("serve.disk_errors"),
-		deadlines:    obs.GetCounter("serve.deadline_exceeded"),
+		requests:      obs.GetCounter("serve.requests"),
+		coalesced:     obs.GetCounter("serve.coalesced"),
+		computations:  obs.GetCounter("serve.computations"),
+		rejections:    obs.GetCounter("serve.rejections"),
+		diskHits:      obs.GetCounter("serve.disk_hits"),
+		diskErrors:    obs.GetCounter("serve.disk_errors"),
+		deadlines:     obs.GetCounter("serve.deadline_exceeded"),
 		queueGauge:    obs.GetGauge("serve.queue_depth"),
 		runningGauge:  obs.GetGauge("serve.running"),
 		inflightGauge: obs.GetGauge("serve.inflight_requests"),
@@ -296,6 +301,29 @@ func (s *Server) Workers() int { return s.workers }
 
 // QueueDepth returns the admission-queue bound.
 func (s *Server) QueueDepth() int { return s.maxQueue }
+
+// RetryAfterHint estimates how long an overloaded client should back
+// off before the given backlog has drained: the number of worker waves
+// the backlog represents times the observed mean computation time,
+// clamped to [1s, 60s]. With no compute history yet (or an empty
+// backlog) it returns the 1s floor — better to let the client probe
+// again quickly than to guess from nothing.
+func (s *Server) RetryAfterHint(depth int) time.Duration {
+	count := s.computeCount.Load()
+	if count == 0 || depth <= 0 {
+		return time.Second
+	}
+	mean := time.Duration(s.computeNs.Load() / count)
+	waves := (depth + s.workers - 1) / s.workers
+	hint := time.Duration(waves) * mean
+	if hint < time.Second {
+		return time.Second
+	}
+	if hint > time.Minute {
+		return time.Minute
+	}
+	return hint
+}
 
 // Cache returns the in-memory result cache (exposed for warmup and
 // introspection).
@@ -626,6 +654,8 @@ func (s *Server) compute(ctx context.Context, c *call, spec experiments.Spec, p 
 		s.finish(c, resultcache.Entry{}, err)
 		return
 	}
+	s.computeNs.Add(int64(wall))
+	s.computeCount.Add(1)
 	entry, err := BuildEntry(c.key, spec.Name, out, wall, obs.Default().Snapshot().Sub(before))
 	if err != nil {
 		s.finish(c, resultcache.Entry{}, err)

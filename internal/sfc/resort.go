@@ -1,0 +1,115 @@
+package sfc
+
+import "sync"
+
+// resortFallback is the displaced fraction (as a divisor of n) past
+// which ResortPermByKeys abandons the merge strategy: with more than
+// n/4 elements out of place the displaced sort approaches the cost of
+// the full radix sort and the extraction/merge passes stop paying for
+// themselves.
+const resortFallback = 4
+
+// maxSpikePops bounds how many backbone entries one element may pop:
+// enough to recover from a short contiguous run of displaced upward
+// spikes (runs longer than this are vanishingly rare at the displaced
+// fractions the merge path serves), small enough that a low outlier
+// probing a healthy backbone costs O(1).
+const maxSpikePops = 8
+
+// resortScratch pools the displaced-element buffer so repeated
+// incremental re-sorts (one per timestep per curve) do not churn the
+// allocator.
+var resortScratch = sync.Pool{New: func() any { return new([]int) }}
+
+// ResortPermByKeys sorts perm in place so that keys[perm[0]] <=
+// keys[perm[1]] <= ..., exploiting near-sortedness: one scan extracts
+// the already-ordered backbone in place and collects the displaced
+// minority, which is sorted separately (it is small) and merged back —
+// two passes over n plus a sort of the displaced, instead of the eight
+// radix passes of SortPermByKeys. Past a displaced fraction of 1/4 it
+// falls back to the full radix sort, so it is never asymptotically
+// worse. Returns the number of displaced elements (n on fallback).
+//
+// Keys must be distinct across perm (the pipeline's one-particle-per-
+// cell invariant); with duplicate keys the result is still sorted but
+// the relative order of equal keys is unspecified, unlike the stable
+// SortPermByKeys.
+func ResortPermByKeys(perm []int, keys []uint64) int {
+	n := len(perm)
+	if n < 2 {
+		return 0
+	}
+	scratch := resortScratch.Get().(*[]int)
+	displaced := (*scratch)[:0]
+
+	// Backbone extraction: keep elements that extend the sorted prefix,
+	// writing them compacted at perm[:w] (w never passes the read
+	// cursor). When an element undercuts the backbone tip the scan must
+	// decide which side is out of place: if popping at most
+	// maxSpikePops backbone entries lets the element extend what
+	// remains, the tip was a short run of upward spikes — displace the
+	// spikes, not the (possibly long) ordered run following them.
+	// Popping is committed only on success, so a genuinely low element
+	// never unwinds a healthy backbone: it displaces itself instead.
+	w := 0
+	for p := 0; p < n; p++ {
+		e := perm[p]
+		k := keys[e]
+		if w == 0 || k >= keys[perm[w-1]] {
+			perm[w] = e
+			w++
+			continue
+		}
+		pops := 1
+		for pops < maxSpikePops && pops < w && k < keys[perm[w-pops-1]] {
+			pops++
+		}
+		if pops == w || k >= keys[perm[w-pops-1]] {
+			for j := 0; j < pops; j++ {
+				displaced = append(displaced, perm[w-1-j])
+			}
+			w -= pops
+			perm[w] = e
+			w++
+		} else {
+			displaced = append(displaced, e)
+		}
+	}
+
+	d := len(displaced)
+	if d == 0 {
+		*scratch = displaced
+		resortScratch.Put(scratch)
+		return 0
+	}
+	if d > n/resortFallback {
+		// Too disordered for the merge to win: reassemble the full
+		// permutation (backbone and displaced partition perm's original
+		// elements) and radix sort it from scratch.
+		copy(perm[w:], displaced)
+		*scratch = displaced[:0]
+		resortScratch.Put(scratch)
+		SortPermByKeys(perm, keys)
+		return n
+	}
+
+	SortPermByKeys(displaced, keys)
+
+	// Merge backbone perm[:w] and displaced from the back into
+	// perm[:n]. In place is safe: the write cursor t stays strictly
+	// ahead of the backbone read cursor i (t-i = j+1 > 0 while
+	// displaced elements remain, and the loop ends when they run out).
+	i, j := w-1, d-1
+	for t := n - 1; j >= 0; t-- {
+		if i >= 0 && keys[perm[i]] > keys[displaced[j]] {
+			perm[t] = perm[i]
+			i--
+		} else {
+			perm[t] = displaced[j]
+			j--
+		}
+	}
+	*scratch = displaced[:0]
+	resortScratch.Put(scratch)
+	return d
+}

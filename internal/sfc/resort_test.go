@@ -1,0 +1,188 @@
+package sfc
+
+import (
+	"fmt"
+	"testing"
+
+	"sfcacd/internal/rng"
+)
+
+// uniqueRandomKeys draws n distinct random keys (ResortPermByKeys
+// documents distinct keys; the pipeline's one-particle-per-cell
+// invariant guarantees them in production).
+func uniqueRandomKeys(n int, seed uint64) []uint64 {
+	r := rng.New(seed)
+	seen := make(map[uint64]bool, n)
+	keys := make([]uint64, n)
+	for i := range keys {
+		for {
+			k := r.Uint64()
+			if !seen[k] {
+				seen[k] = true
+				keys[i] = k
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// displaceKeys starts from a strictly increasing key array and rewrites
+// count random positions with fresh distinct values, modeling one drift
+// tick's key churn. Gaps of 1<<20 leave room for the displaced values.
+func displaceKeys(n, count int, seed uint64) []uint64 {
+	keys := make([]uint64, n)
+	seen := make(map[uint64]bool, n)
+	for i := range keys {
+		keys[i] = uint64(i) << 20
+		seen[keys[i]] = true
+	}
+	r := rng.New(seed)
+	for c := 0; c < count; c++ {
+		i := r.Intn(n)
+		for {
+			k := uint64(r.Intn(n))<<20 | uint64(r.Uint32n(1<<20))
+			if !seen[k] {
+				seen[k] = true
+				keys[i] = k
+				break
+			}
+		}
+	}
+	return keys
+}
+
+// TestResortPermByKeysMatchesOracle compares the adaptive re-sort
+// against the stdlib sort across sizes and displacement fractions
+// spanning the merge path, the spike heuristic, and the full-sort
+// fallback.
+func TestResortPermByKeysMatchesOracle(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000, 5000} {
+		for _, permille := range []int{0, 1, 10, 50, 200, 500, 1000} {
+			count := n * permille / 1000
+			keys := displaceKeys(n, count, uint64(n)*1009+uint64(permille))
+			got := identity(n)
+			want := identity(n)
+			d := ResortPermByKeys(got, keys)
+			oracleSort(want, keys)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d permille=%d: perm[%d] = %d, want %d (displaced=%d)",
+						n, permille, i, got[i], want[i], d)
+				}
+			}
+			if count == 0 && d != 0 {
+				t.Fatalf("n=%d: sorted input reported %d displaced", n, d)
+			}
+		}
+	}
+}
+
+// TestResortPermByKeysFullyRandom exercises the fallback on inputs with
+// no exploitable order.
+func TestResortPermByKeysFullyRandom(t *testing.T) {
+	for _, n := range []int{2, 100, 4000} {
+		keys := uniqueRandomKeys(n, uint64(n)+5)
+		got := identity(n)
+		want := identity(n)
+		ResortPermByKeys(got, keys)
+		oracleSort(want, keys)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: perm[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestResortPermByKeysSpike pins the spike heuristic: a single key
+// rewritten far upward must displace only itself (the backbone tip is
+// popped), not the entire run that follows it.
+func TestResortPermByKeysSpike(t *testing.T) {
+	n := 1000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) << 20
+	}
+	keys[300] = uint64(1) << 62 // spikes above every successor
+	perm := identity(n)
+	d := ResortPermByKeys(perm, keys)
+	if d != 1 {
+		t.Fatalf("spike displaced %d elements, want 1", d)
+	}
+	want := identity(n)
+	oracleSort(want, keys)
+	for i := range perm {
+		if perm[i] != want[i] {
+			t.Fatalf("perm[%d] = %d, want %d", i, perm[i], want[i])
+		}
+	}
+}
+
+// TestResortPermByKeysArbitraryPerm checks a non-identity input
+// permutation (the incremental layer feeds last tick's sorted perm).
+func TestResortPermByKeysArbitraryPerm(t *testing.T) {
+	n := 2000
+	keys := uniqueRandomKeys(n, 77)
+	perm := identity(n)
+	SortPermByKeys(perm, keys) // sorted perm over random keys
+	// Rewrite 1% of the keys: perm is now nearly sorted w.r.t. keys.
+	r := rng.New(123)
+	seen := make(map[uint64]bool, n)
+	for _, k := range keys {
+		seen[k] = true
+	}
+	for c := 0; c < n/100; c++ {
+		i := r.Intn(n)
+		for {
+			k := r.Uint64()
+			if !seen[k] {
+				seen[k] = true
+				keys[i] = k
+				break
+			}
+		}
+	}
+	got := append([]int(nil), perm...)
+	want := append([]int(nil), perm...)
+	ResortPermByKeys(got, keys)
+	oracleSort(want, keys)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("perm[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// BenchmarkSortPermByKeysNearlySorted is the from-scratch baseline on
+// nearly-sorted inputs (k% of keys displaced since the last sort) —
+// the regime the incremental pipeline's re-sorts run in. The adaptive
+// ResortPermByKeys benchmark below must beat it.
+func BenchmarkSortPermByKeysNearlySorted(b *testing.B) {
+	benchNearlySorted(b, func(perm []int, keys []uint64) { SortPermByKeys(perm, keys) })
+}
+
+// BenchmarkResortPermByKeysNearlySorted is the adaptive path on the
+// same inputs.
+func BenchmarkResortPermByKeysNearlySorted(b *testing.B) {
+	benchNearlySorted(b, func(perm []int, keys []uint64) { ResortPermByKeys(perm, keys) })
+}
+
+func benchNearlySorted(b *testing.B, sortFn func([]int, []uint64)) {
+	n := 100_000
+	for _, pct := range []int{1, 5, 20} {
+		keys := displaceKeys(n, n*pct/100, uint64(pct))
+		// The permutation that was sorted before the keys changed is the
+		// identity here (displaceKeys perturbs a sorted array in place).
+		b.Run(fmt.Sprintf("displaced=%d%%/n=%d", pct, n), func(b *testing.B) {
+			perm := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range perm {
+					perm[j] = j
+				}
+				sortFn(perm, keys)
+			}
+		})
+	}
+}
