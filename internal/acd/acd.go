@@ -151,6 +151,14 @@ type Assignment struct {
 // orders.
 var denseLimit = uint64(1) << 24
 
+// DenseRankTableFits reports whether an order-k grid's cell->rank
+// lookup fits the dense-array budget (denseLimit cells). It is the
+// occupancy heuristic behind keynav.EngineAuto: where the dense table
+// fits, the tree engine's probes are cheapest; past the budget the
+// tree path degrades to sparse map probes and the key-space engine
+// wins.
+func DenseRankTableFits(order uint) bool { return geom.Cells(order) <= denseLimit }
+
 // denseRankPool recycles dense rank tables between assignments.
 // Parallel sweep cells each build a full 4^order table; without
 // pooling, the allocator (and the -1 refill) dominates small-trial

@@ -123,6 +123,12 @@ type Matrix struct {
 	p      int
 	events uint64
 	pairs  int
+	// diag is the event total of the diagonal (src == dst) pairs.
+	// Because hop distance is a metric — zero iff the ranks are equal —
+	// a contraction's Count is always events and its Zeros always diag,
+	// whatever the topology; the fused multi-table pass reads both here
+	// instead of re-tallying them per table.
+	diag uint64
 	// dense[src*p+dst] holds the pair count when p*p <= denseCells.
 	dense []uint32
 	// CSR form otherwise: rowSrc lists the distinct source ranks in
@@ -375,6 +381,7 @@ func (b *Builder) Finalize() *Matrix {
 	} else {
 		b.finalizeOverflow(m, keys, counts)
 	}
+	m.computeDiag()
 	b.shards = nil
 	buildsCounter.Inc()
 	eventsCounter.Add(m.events)
@@ -559,6 +566,27 @@ func (b *Builder) finalizeOverflow(m *Matrix, keys []uint64, kcounts []uint32) {
 		m.rowStart[len(m.rowStart)-1] = int32(i + 1)
 		m.dsts[i] = int32(uint32(k))
 		m.events += uint64(kcounts[i])
+	}
+}
+
+// computeDiag tallies the diagonal event total once at construction:
+// a dense diagonal walk, or one binary search per CSR row (dsts are
+// ascending within a row).
+func (m *Matrix) computeDiag() {
+	m.diag = 0
+	if m.dense != nil {
+		for src := 0; src < m.p; src++ {
+			m.diag += uint64(m.dense[src*m.p+src])
+		}
+		return
+	}
+	for r, src := range m.rowSrc {
+		lo, hi := m.rowStart[r], m.rowStart[r+1]
+		row := m.dsts[lo:hi]
+		i := sort.Search(len(row), func(i int) bool { return row[i] >= src })
+		if i < len(row) && row[i] == src {
+			m.diag += uint64(m.counts[int(lo)+i])
+		}
 	}
 }
 

@@ -208,6 +208,7 @@ func (m *Mutable) Matrix() *Matrix {
 		m.Visit(func(src, dst int32, n uint32) {
 			mat.dense[int(src)*m.p+int(dst)] = n
 		})
+		mat.computeDiag()
 		return mat
 	}
 	mat.rowStart = append(mat.rowStart, 0)
@@ -222,6 +223,7 @@ func (m *Mutable) Matrix() *Matrix {
 		mat.counts = append(mat.counts, n)
 		mat.rowStart[len(mat.rowStart)-1] = int32(len(mat.dsts))
 	})
+	mat.computeDiag()
 	return mat
 }
 

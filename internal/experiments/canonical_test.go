@@ -48,15 +48,19 @@ func TestCanonicalKeyIgnoresWorkers(t *testing.T) {
 }
 
 // TestCanonicalKeyIgnoresEngine asserts the same invariant for the
-// neighbor engine: both engines produce bit-identical results (pinned
-// by TestDifferentialKeysEngine), so a keys-engine run must hit cache
-// entries written by tree-engine runs and vice versa.
+// neighbor engine: every engine produces bit-identical results (pinned
+// by TestDifferentialKeysEngine; auto only picks between them
+// per-regime), so a keys- or auto-engine run must hit cache entries
+// written by tree-engine runs and vice versa.
 func TestCanonicalKeyIgnoresEngine(t *testing.T) {
 	a := Table12Paper
-	b := Table12Paper
-	b.NFIEngine = "keys"
-	if a.CanonicalKey() != b.CanonicalKey() {
-		t.Errorf("NFIEngine changed the canonical key: %q vs %q", a.CanonicalKey(), b.CanonicalKey())
+	for _, engine := range []string{"keys", "auto"} {
+		b := Table12Paper
+		b.NFIEngine = engine
+		if a.CanonicalKey() != b.CanonicalKey() {
+			t.Errorf("NFIEngine=%q changed the canonical key: %q vs %q",
+				engine, a.CanonicalKey(), b.CanonicalKey())
+		}
 	}
 }
 

@@ -42,10 +42,11 @@ type Params struct {
 	Workers int
 	// NFIEngine selects the neighbor-resolution engine of the
 	// accumulation passes: "tree" (or empty, the default — rank table +
-	// quadtree, the differential oracle) or "keys" (key-space occupancy
-	// index, internal/keynav). Results are bit-identical across
-	// engines; like Workers, the knob only moves cost, so it is
-	// excluded from CanonicalKey.
+	// quadtree, the differential oracle), "keys" (key-space occupancy
+	// index, internal/keynav), or "auto" (per-regime: keys once the
+	// dense rank table would exceed its budget, tree otherwise).
+	// Results are bit-identical across engines; like Workers, the knob
+	// only moves cost, so it is excluded from CanonicalKey.
 	NFIEngine string
 	// Distribution selects the particle sampling distribution by name
 	// (dist.ByName); empty means uniform. Unlike the cost-only knobs it

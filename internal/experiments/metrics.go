@@ -112,13 +112,16 @@ func RunMetrics(ctx context.Context, cfg MetricsConfig) (MetricsResult, error) {
 		if err != nil {
 			return err
 		}
-		torus := topology.NewTorus(cfg.Params.ProcOrder, curve)
-		o := cellOut{
-			nfi: fmmmodel.NFI(a, torus, fmmmodel.NFIOptions{
-				Radius: cfg.Params.Radius, Metric: geom.MetricChebyshev, Workers: inner,
-			}).ACD(),
-			ffi: fmmmodel.FFI(a, torus, fmmmodel.FFIOptions{Workers: inner}).Total().ACD(),
-		}
+		// One-topology slice of the matrix path: identical results to the
+		// direct NFI/FFI oracles (PR 2's exactness pin), routed through
+		// the same fused contraction as the other experiment runners.
+		topos := []topology.Topology{topology.NewTorus(cfg.Params.ProcOrder, curve)}
+		engine := cfg.Params.engine()
+		nfi := fmmmodel.NFIMulti(a, topos, fmmmodel.NFIOptions{
+			Radius: cfg.Params.Radius, Metric: geom.MetricChebyshev, Workers: inner, Engine: engine,
+		})
+		ffi := fmmmodel.FFIMulti(a, topos, fmmmodel.FFIOptions{Workers: inner, Engine: engine})
+		o := cellOut{nfi: nfi[0].ACD(), ffi: ffi[0].Total().ACD()}
 		a.Release()
 		outs[cell] = o
 		return nil

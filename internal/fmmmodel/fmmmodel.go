@@ -58,6 +58,22 @@ func (o *NFIOptions) normalize() {
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// resolveEngine pins keynav.EngineAuto to a concrete engine for a grid
+// of the given order: the tree path (rank table + quadtree) where the
+// dense rank table fits its memory budget, the key-space engine where
+// the table would have to fall back to sparse probing. Concrete
+// engines pass through unchanged, and results are bit-identical either
+// way — the heuristic only moves cost.
+func resolveEngine(e keynav.Engine, order uint) keynav.Engine {
+	if e != keynav.EngineAuto {
+		return e
+	}
+	if acd.DenseRankTableFits(order) {
+		return keynav.EngineTree
+	}
+	return keynav.EngineKeys
+}
+
 // NFI computes the ACD accumulator for all near-field interactions of
 // the assignment on the given topology: §IV steps 5–7. Every ordered
 // particle pair (x, y) with d(x, y) <= r contributes one communication

@@ -60,6 +60,7 @@ const ilBand = 512
 func NFIMatrix(a *acd.Assignment, opts NFIOptions) *commmat.Matrix {
 	defer obs.StartSpan("commmat.build.nfi").End()
 	opts.normalize()
+	opts.Engine = resolveEngine(opts.Engine, a.Order)
 	if opts.Engine == keynav.EngineKeys {
 		return nfiMatrixKeys(a, opts)
 	}
@@ -334,26 +335,21 @@ func distanceTableFor(t topology.Topology) *topology.DistanceTable {
 }
 
 // contractAll contracts one symmetric-canonical matrix against every
-// topology through cached per-topology distance tables. Results are
-// deterministic regardless of scheduling: each topology owns its output
-// slot and the matrix iteration order is fixed.
+// topology in a single fused pass through cached per-topology distance
+// tables: each distinct pair is read once and evaluated against all K
+// tables, with parallelism inside the matrix (bounded by workers)
+// instead of one goroutine per topology. The fused pass is
+// byte-identical to the per-topology ContractTableSym loop at any
+// worker count.
 func contractAll(m *commmat.Matrix, topos []topology.Topology, workers int) []acd.Accumulator {
 	defer obs.StartSpan("commmat.contract").End()
 	out := make([]acd.Accumulator, len(topos))
-	if workers <= 1 || len(topos) <= 1 {
-		for t, topo := range topos {
-			m.ContractTableSym(distanceTableFor(topo), &out[t])
-		}
-		return out
+	dts := make([]*topology.DistanceTable, len(topos))
+	accs := make([]*acd.Accumulator, len(topos))
+	for t, topo := range topos {
+		dts[t] = distanceTableFor(topo)
+		accs[t] = &out[t]
 	}
-	var wg sync.WaitGroup
-	for t := range topos {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			m.ContractTableSym(distanceTableFor(topos[t]), &out[t])
-		}(t)
-	}
-	wg.Wait()
+	m.ContractTableMultiSym(dts, accs, workers)
 	return out
 }

@@ -1,8 +1,6 @@
 package fmmmodel
 
 import (
-	"sync"
-
 	"sfcacd/internal/acd"
 	"sfcacd/internal/keynav"
 	"sfcacd/internal/obs"
@@ -43,6 +41,7 @@ func NFIMulti(a *acd.Assignment, topos []topology.Topology, opts NFIOptions) []a
 // representative quadtree (built and released here) or the
 // assignment's key-space occupancy index.
 func FFIMulti(a *acd.Assignment, topos []topology.Topology, opts FFIOptions) []FFIResult {
+	opts.Engine = resolveEngine(opts.Engine, a.Order)
 	if opts.Engine == keynav.EngineKeys {
 		defer obs.StartSpan("accumulation.ffi").End()
 		if opts.Workers <= 0 {
@@ -52,7 +51,7 @@ func FFIMulti(a *acd.Assignment, topos []topology.Topology, opts FFIOptions) []F
 			return nil
 		}
 		ms := FFIMatricesFromIndex(a.KeyIndex(), topos[0].P(), opts.Workers)
-		return ffiContract(ms, topos, opts.Workers)
+		return ms.ContractAll(topos, opts.Workers)
 	}
 	tree := quadtree.BuildRankTree(a.Order, a.Particles, a.Ranks)
 	defer tree.Release()
@@ -73,35 +72,34 @@ func FFIMultiFromTree(tree *quadtree.RankTree, topos []topology.Topology, opts F
 		return make([]FFIResult, 0)
 	}
 	ms := FFIMatricesFromTree(tree, topos[0].P(), opts.Workers)
-	return ffiContract(ms, topos, opts.Workers)
+	return ms.ContractAll(topos, opts.Workers)
 }
 
-// ffiContract contracts the two far-field matrices against every
-// topology; shared by the tree and keys engines, whose matrices are
-// identical.
-func ffiContract(ms FFIMatrices, topos []topology.Topology, workers int) []FFIResult {
+// ContractAll contracts the far-field matrices against every topology
+// in one fused pass per matrix, through the cached per-topology
+// distance tables. Parallelism lives inside each matrix and is bounded
+// by workers (the old per-topology goroutine fan-out ignored the cap);
+// results are byte-identical to per-topology ContractTable loops at
+// any worker count. The anterpolation accumulator reuses the
+// interpolation contraction because hop distance is symmetric.
+func (ms FFIMatrices) ContractAll(topos []topology.Topology, workers int) []FFIResult {
 	res := make([]FFIResult, len(topos))
-	span := obs.StartSpan("commmat.contract")
-	contract := func(t int) {
-		dt := distanceTableFor(topos[t])
-		ms.Interpolation.ContractTable(dt, &res[t].Interpolation)
-		res[t].Anterpolation = res[t].Interpolation
-		ms.InteractionList.ContractTableSym(dt, &res[t].InteractionList)
+	if len(topos) == 0 {
+		return res
 	}
-	if workers <= 1 || len(topos) <= 1 {
-		for t := range topos {
-			contract(t)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for t := range topos {
-			wg.Add(1)
-			go func(t int) {
-				defer wg.Done()
-				contract(t)
-			}(t)
-		}
-		wg.Wait()
+	span := obs.StartSpan("commmat.contract")
+	dts := make([]*topology.DistanceTable, len(topos))
+	interp := make([]*acd.Accumulator, len(topos))
+	il := make([]*acd.Accumulator, len(topos))
+	for t, topo := range topos {
+		dts[t] = distanceTableFor(topo)
+		interp[t] = &res[t].Interpolation
+		il[t] = &res[t].InteractionList
+	}
+	ms.Interpolation.ContractTableMulti(dts, interp, workers)
+	ms.InteractionList.ContractTableMultiSym(dts, il, workers)
+	for t := range res {
+		res[t].Anterpolation = res[t].Interpolation
 	}
 	span.End()
 	for t := range res {

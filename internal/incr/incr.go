@@ -379,9 +379,21 @@ func (s *State) Matrix() *commmat.Matrix { return s.counts.Matrix() }
 // ACD contracts the maintained matrix against a distance table without
 // materializing it.
 func (s *State) ACD(dt *topology.DistanceTable) acd.Accumulator {
-	var acc acd.Accumulator
-	s.counts.ContractTableSym(dt, &acc)
-	return acc
+	return s.ACDMulti([]*topology.DistanceTable{dt})[0]
+}
+
+// ACDMulti contracts the maintained matrix against several distance
+// tables in one fused pass (commmat.Mutable.ContractTableMultiSym):
+// each distinct pair is read once and evaluated against every table.
+// Result k is exactly what ACD against table k would return.
+func (s *State) ACDMulti(dts []*topology.DistanceTable) []acd.Accumulator {
+	accs := make([]acd.Accumulator, len(dts))
+	ptrs := make([]*acd.Accumulator, len(dts))
+	for i := range accs {
+		ptrs[i] = &accs[i]
+	}
+	s.counts.ContractTableMultiSym(dts, ptrs)
+	return accs
 }
 
 // Assignment materializes the maintained order and ownership as a

@@ -271,3 +271,48 @@ func TestStateRejectsBadInput(t *testing.T) {
 		t.Fatal("length mismatch accepted")
 	}
 }
+
+// TestStateACDMultiMatchesPerTable is the incremental layer's fused
+// Mutable contraction oracle: ACDMulti over all six topology kinds
+// must return, per table, exactly what the sequential single-table
+// path (ACD, which delegates to Mutable.ContractTableSym) produces on
+// an identically fresh table.
+func TestStateACDMultiMatchesPerTable(t *testing.T) {
+	curve, err := sfc.ByName("hilbert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const order, procOrder, radius = 6, 3, 1
+	p := 1 << (2 * procOrder)
+	pts := scatter(900, order, 5)
+	s, err := NewState(Config{Curve: curve, Order: order, P: p, Radius: radius, Metric: geom.MetricChebyshev}, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	r := rng.New(23)
+	for tick := 0; tick < 3; tick++ {
+		pts = driftStep(pts, order, 0.05, r)
+		if _, err := s.Tick(pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topos := make([]topology.Topology, len(topology.Kinds))
+	fusedTables := make([]*topology.DistanceTable, len(topology.Kinds))
+	for i, kind := range topology.Kinds {
+		topo, err := topology.New(kind, p, curve)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topos[i] = topo
+		fusedTables[i] = topology.NewDistanceTable(topo)
+	}
+	fused := s.ACDMulti(fusedTables)
+	for i, topo := range topos {
+		want := s.ACD(topology.NewDistanceTable(topo))
+		if fused[i] != want {
+			t.Fatalf("%s: fused ACDMulti %+v != sequential ACD %+v",
+				topo.Name(), fused[i], want)
+		}
+	}
+}

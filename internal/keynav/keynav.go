@@ -44,6 +44,12 @@ const (
 	// EngineKeys resolves everything on the sorted Morton key array:
 	// no rank table, no tree arenas.
 	EngineKeys
+	// EngineAuto defers the choice to the accumulation pass, which
+	// picks per regime: the tree path where the dense rank table fits
+	// its memory budget, the key-space engine where it would not
+	// (large orders, 3D grids). Results are bit-identical either way —
+	// auto only moves cost.
+	EngineAuto
 )
 
 // ParseEngine resolves an engine name; "" means EngineTree.
@@ -53,14 +59,19 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineTree, nil
 	case "keys":
 		return EngineKeys, nil
+	case "auto":
+		return EngineAuto, nil
 	}
-	return EngineTree, fmt.Errorf("keynav: unknown engine %q (want tree or keys)", s)
+	return EngineTree, fmt.Errorf("keynav: unknown engine %q (want tree, keys, or auto)", s)
 }
 
 // String names the engine.
 func (e Engine) String() string {
-	if e == EngineKeys {
+	switch e {
+	case EngineKeys:
 		return "keys"
+	case EngineAuto:
+		return "auto"
 	}
 	return "tree"
 }

@@ -146,7 +146,10 @@ func NFI(a *Assignment, topo topology.Topology, opts NFIOptions) acd.Accumulator
 	// rank resolves a neighbor cell to its owning rank under the
 	// selected engine.
 	rank := a.RankAt
-	if opts.Engine == keynav.EngineKeys {
+	// EngineAuto resolves to keys here: the 3D grid (8^order cells) is
+	// always past the dense-table budget, so the occupancy heuristic
+	// never picks the map-probing tree path.
+	if opts.Engine == keynav.EngineKeys || opts.Engine == keynav.EngineAuto {
 		flat := a.keyIndex()
 		rank = func(q geom3.Point3) int32 { return flat.Rank(sfc.Morton3Key(q.X, q.Y, q.Z)) }
 	}

@@ -105,6 +105,73 @@ func (dt *DistanceTable) RowFor(src, pairs int) []uint16 {
 	}
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
+	return dt.rowForLocked(src, pairs)
+}
+
+// RowsFor is RowFor for a batch of sources under a single lock
+// acquisition: out[i] is set to the row for srcs[i], with pairs[i] the
+// lookup volume about to be performed against it (nil entries mean
+// per-pair fallback, as with RowFor). It replays exactly the state
+// machine of calling RowFor(srcs[i], pairs[i]) in order — the same
+// rows materialize and the same queries are accounted — while paying
+// the lock once per batch instead of once per row.
+func (dt *DistanceTable) RowsFor(srcs, pairs []int32, out [][]uint16) {
+	if dt.p > maxTableP {
+		for i := range srcs {
+			out[i] = nil
+		}
+		return
+	}
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	// Fast path: when nothing is materialized yet and no row in the
+	// batch can trigger a build — neither the cumulative full-table
+	// threshold nor any single row's lazy threshold — the whole batch
+	// answers nil with one bulk pending update. The observable state
+	// evolution is identical to the per-row replay (pending sums to the
+	// same value and no build decision can differ), it just skips a map
+	// probe per row.
+	if dt.full == nil && len(dt.rows) == 0 {
+		total, maxPairs := 0, int32(0)
+		for _, q := range pairs {
+			total += int(q)
+			if q > maxPairs {
+				maxPairs = q
+			}
+		}
+		cells := dt.p * dt.p
+		noFull := cells > eagerCells || (dt.pending+total)*dt.amortize < cells
+		if noFull && int(maxPairs)*dt.amortize < dt.p {
+			dt.pending += total
+			for i := range srcs {
+				out[i] = nil
+			}
+			return
+		}
+	}
+	for i, src := range srcs {
+		out[i] = dt.rowForLocked(int(src), int(pairs[i]))
+	}
+}
+
+// DenseRows is RowsFor over every source 0..P-1 with a uniform lookup
+// volume per row — the plan shape of a dense-matrix contraction.
+func (dt *DistanceTable) DenseRows(pairs int, out [][]uint16) {
+	if dt.p > maxTableP {
+		for src := 0; src < dt.p; src++ {
+			out[src] = nil
+		}
+		return
+	}
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	for src := 0; src < dt.p; src++ {
+		out[src] = dt.rowForLocked(src, pairs)
+	}
+}
+
+// rowForLocked is RowFor's state machine; dt.mu must be held.
+func (dt *DistanceTable) rowForLocked(src, pairs int) []uint16 {
 	if dt.full != nil {
 		return dt.full[src*dt.p : (src+1)*dt.p]
 	}

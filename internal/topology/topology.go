@@ -314,15 +314,35 @@ func (m *Mesh) Neighbors(p int, buf []int) []int {
 	return m.gridNeighbors(p, false, buf)
 }
 
+// torusLUTMaxSide bounds the delta-distance table: a side x side grid
+// of uint16 (128 KiB at side 256). Beyond it the batched sum falls back
+// to per-pair wrap arithmetic.
+const torusLUTMaxSide = 256
+
 // Torus is the mesh plus wrap-around links in both dimensions.
 type Torus struct {
 	gridNet
+	// dlut[dy<<procOrder | dx] is the torus hop count for the
+	// coordinate delta (dx, dy) taken mod side — the side is a power of
+	// two, so the delta reduces with a mask and the whole wrapped
+	// metric becomes one branch-free table load. Built only up to
+	// torusLUTMaxSide; nil above it.
+	dlut []uint16
 }
 
 // NewTorus returns a 2^procOrder x 2^procOrder torus with ranks placed
 // along the given processor-order curve.
 func NewTorus(procOrder uint, placement sfc.Curve) *Torus {
-	return &Torus{gridNet: newGridNet(procOrder, placement)}
+	t := &Torus{gridNet: newGridNet(procOrder, placement)}
+	if t.side <= torusLUTMaxSide {
+		t.dlut = make([]uint16, int(t.side)*int(t.side))
+		for dy := uint32(0); dy < t.side; dy++ {
+			for dx := uint32(0); dx < t.side; dx++ {
+				t.dlut[dy<<procOrder|dx] = uint16(wrapDist(dx, 0, t.side) + wrapDist(dy, 0, t.side))
+			}
+		}
+	}
+	return t
 }
 
 // Name implements Topology.
